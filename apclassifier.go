@@ -1,0 +1,363 @@
+// Package apclassifier is a control-plane tool for network-wide packet
+// behavior identification, reproducing "Practical Network-Wide Packet
+// Behavior Identification by AP Classifier" (Wang, Qian, Yu, Yang, Lam;
+// CoNEXT 2015 / ToN 2017).
+//
+// Given the data-plane state of a network — forwarding tables and ACLs on
+// every box — a Classifier answers, for any packet header and ingress box,
+// the packet's complete network-wide behavior: the path (or multicast
+// tree) it takes, where it is delivered, and where and why it is dropped.
+//
+// Queries run in two stages. Stage 1 classifies the packet to its atomic
+// predicate by searching the AP Tree, a binary decision tree over the
+// network's predicates whose construction order is optimized to minimize
+// average search depth. Stage 2 walks the topology using the atomic
+// predicate's membership bits — one bit per predicate — without touching a
+// single BDD.
+//
+// Basic use:
+//
+//	ds := netgen.Internet2Like(netgen.Config{Seed: 1, RuleScale: 0.05})
+//	c, err := apclassifier.New(ds, apclassifier.Options{})
+//	...
+//	pkt := c.Layout.NewPacket()
+//	c.Layout.Set(pkt, "dstIP", 0x0A000001)
+//	b := c.Behavior(ingressBox, pkt)
+//	fmt.Println(b)
+package apclassifier
+
+import (
+	"fmt"
+
+	"apclassifier/internal/aptree"
+	"apclassifier/internal/bdd"
+	"apclassifier/internal/header"
+	"apclassifier/internal/netgen"
+	"apclassifier/internal/network"
+	"apclassifier/internal/predicate"
+	"apclassifier/internal/rule"
+)
+
+// Method re-exports the AP Tree construction methods.
+type Method = aptree.Method
+
+// Construction methods.
+const (
+	MethodOrder  = aptree.MethodOrder
+	MethodRandom = aptree.MethodRandom
+	MethodQuick  = aptree.MethodQuick
+	MethodOAPT   = aptree.MethodOAPT
+)
+
+// Options configures Classifier construction.
+type Options struct {
+	// Method selects the AP Tree construction algorithm; the zero value
+	// selects MethodOAPT, the paper's optimized construction. (The plain
+	// fixed-order construction is available through TreeInput +
+	// aptree.Build for experiments, not through the facade.)
+	Method Method
+	// Weights, if non-nil, holds per-atom query weights for the
+	// distribution-aware construction (§V-D). Most callers instead query
+	// for a while and call ReconstructWeighted.
+	// (Weights indexes atoms of the initial build; advanced use only.)
+	Weights []float64
+	// SkipGC keeps intermediate BDD nodes after construction. Default
+	// false: a mark-sweep pass reclaims conversion scratch space.
+	SkipGC bool
+}
+
+// Classifier is the compiled form of a dataset: predicates, atoms, the AP
+// Tree behind a reconstruction manager, and the topology for stage 2.
+type Classifier struct {
+	Layout  *header.Layout
+	Manager *aptree.Manager
+	Net     *network.Network
+	Dataset *netgen.Dataset
+
+	// PortPred[b][p] is the predicate ID of box b's port-p forwarding
+	// predicate, or network.NoPred when the port never forwards.
+	PortPred [][]int32
+
+	env *network.Env
+}
+
+// New compiles a dataset: converts every forwarding table and ACL to
+// predicates, computes atomic predicates, builds the AP Tree, and wires
+// the topology.
+func New(ds *netgen.Dataset, opts Options) (*Classifier, error) {
+	if opts.Method == aptree.MethodRandom {
+		return nil, fmt.Errorf("apclassifier: MethodRandom is for experiments; use TreeInput with aptree.Build")
+	}
+	if opts.Method == aptree.MethodOrder {
+		opts.Method = aptree.MethodOAPT
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, fmt.Errorf("apclassifier: invalid dataset: %w", err)
+	}
+	c := &Classifier{Layout: ds.Layout, Dataset: ds}
+	d := bdd.New(ds.Layout.Bits())
+	reg := aptree.NewRegistry()
+
+	dstField := "dstIP"
+	if _, ok := ds.Layout.FieldByName(dstField); !ok {
+		return nil, fmt.Errorf("apclassifier: layout lacks %q field", dstField)
+	}
+
+	// Convert forwarding tables: one predicate per non-empty output port.
+	c.PortPred = make([][]int32, len(ds.Boxes))
+	for bi := range ds.Boxes {
+		box := &ds.Boxes[bi]
+		preds := predicate.PortPredicates(d, ds.Layout, dstField, &box.Fwd, box.NumPorts)
+		c.PortPred[bi] = make([]int32, box.NumPorts)
+		for pi, p := range preds {
+			if p == bdd.False {
+				c.PortPred[bi][pi] = network.NoPred
+				continue
+			}
+			d.Retain(p)
+			c.PortPred[bi][pi] = reg.Add(p)
+		}
+	}
+
+	// Convert ACLs.
+	type aclRef struct {
+		box, port int // port == -1 for box ingress ACLs
+		id        int32
+	}
+	var aclRefs []aclRef
+	for bi := range ds.Boxes {
+		box := &ds.Boxes[bi]
+		for pi, acl := range box.PortACL {
+			p := predicate.ACLPredicate(d, ds.Layout, acl)
+			d.Retain(p)
+			aclRefs = append(aclRefs, aclRef{bi, pi, reg.Add(p)})
+		}
+		if box.InACL != nil {
+			p := predicate.ACLPredicate(d, ds.Layout, box.InACL)
+			d.Retain(p)
+			aclRefs = append(aclRefs, aclRef{bi, -1, reg.Add(p)})
+		}
+	}
+
+	// Atoms and tree.
+	live := reg.LiveIDs()
+	refs := make([]bdd.Ref, len(live))
+	ids := make([]int, len(live))
+	for i, id := range live {
+		refs[i] = reg.Ref(id)
+		ids[i] = int(id)
+	}
+	atoms := predicate.ComputeMapped(d, refs, ids, reg.NumIDs())
+	tree := aptree.Build(aptree.Input{
+		D:       d,
+		Preds:   reg.Refs(),
+		Live:    live,
+		Atoms:   atoms,
+		Weights: opts.Weights,
+	}, opts.Method)
+	c.Manager = aptree.NewManagerWith(d, reg, tree, opts.Method)
+
+	// Topology.
+	c.Net = network.New()
+	for bi := range ds.Boxes {
+		c.Net.AddBox(ds.Boxes[bi].Name, ds.Boxes[bi].NumPorts)
+		for pi := 0; pi < ds.Boxes[bi].NumPorts; pi++ {
+			c.Net.Boxes[bi].Ports[pi].Fwd = c.PortPred[bi][pi]
+		}
+	}
+	for _, ar := range aclRefs {
+		if ar.port < 0 {
+			c.Net.Boxes[ar.box].InACL = ar.id
+		} else {
+			c.Net.Boxes[ar.box].Ports[ar.port].OutACL = ar.id
+		}
+	}
+	for _, l := range ds.Links {
+		c.Net.Link(l.A, l.PA, l.B, l.PB)
+	}
+	for _, h := range ds.Hosts {
+		c.Net.AttachHost(h.Box, h.Port, h.Name)
+	}
+
+	c.env = &network.Env{
+		Classify: c.Manager.Classify,
+		Version:  c.Manager.Version,
+		IsLive:   c.Manager.IsLive,
+	}
+	if !opts.SkipGC {
+		d.GC()
+	}
+	return c, nil
+}
+
+// Env returns the stage-2 environment (classification, liveness); useful
+// for driving network.Behavior directly or attaching middleboxes.
+func (c *Classifier) Env() *network.Env { return c.env }
+
+// TreeInput recomputes the atomic predicates of the live predicate set and
+// returns a build input suitable for constructing additional AP Trees over
+// the same predicates — the experiment harness uses it to compare
+// construction methods. The classifier must be quiescent (no concurrent
+// updates or reconstructions) while the input and trees built from it are
+// in use, because they share the live DD.
+func (c *Classifier) TreeInput() aptree.Input {
+	m := c.Manager
+	d := m.DD()
+	live := m.LiveIDs()
+	refs := make([]bdd.Ref, len(live))
+	ids := make([]int, len(live))
+	maxID := int32(0)
+	for i, id := range live {
+		refs[i] = m.Ref(id)
+		ids[i] = int(id)
+		if id > maxID {
+			maxID = id
+		}
+	}
+	atoms := predicate.ComputeMapped(d, refs, ids, int(maxID)+1)
+	preds := make([]bdd.Ref, maxID+1)
+	for i, id := range live {
+		preds[id] = refs[i]
+	}
+	return aptree.Input{D: d, Preds: preds, Live: live, Atoms: atoms}
+}
+
+// Classify runs stage 1: it returns the AP Tree leaf (atomic predicate)
+// for the packet.
+func (c *Classifier) Classify(pkt header.Packet) *aptree.Node {
+	leaf, _ := c.Manager.Classify(pkt)
+	return leaf
+}
+
+// Behavior runs both stages: it classifies the packet and computes its
+// network-wide behavior from the given ingress box.
+func (c *Classifier) Behavior(ingress int, pkt header.Packet) *network.Behavior {
+	leaf, _ := c.Manager.Classify(pkt)
+	return c.Net.Behavior(c.env, ingress, pkt, leaf)
+}
+
+// NewWalker returns a reusable stage-2 traverser bound to this classifier,
+// for allocation-free hot query loops. One Walker per goroutine.
+func (c *Classifier) NewWalker() *network.Walker {
+	return network.NewWalker(c.Net, c.env)
+}
+
+// BehaviorWith runs both stages using the caller's Walker; the result is
+// valid until the Walker's next query.
+func (c *Classifier) BehaviorWith(w *network.Walker, ingress int, pkt header.Packet) *network.Behavior {
+	leaf, _ := c.Manager.Classify(pkt)
+	return w.Behavior(ingress, pkt, leaf)
+}
+
+// NumPredicates reports the number of live predicates.
+func (c *Classifier) NumPredicates() int { return c.Manager.NumLive() }
+
+// NumAtoms reports the number of leaves (atomic predicates) of the live
+// tree.
+func (c *Classifier) NumAtoms() int { return c.Manager.Tree().NumLeaves() }
+
+// AverageDepth reports the live tree's mean leaf depth.
+func (c *Classifier) AverageDepth() float64 { return c.Manager.Tree().AverageDepth() }
+
+// MemBytes estimates the memory footprint of the classifier state: BDD
+// store (predicates + atoms + tree labels share it), membership vectors
+// and tree nodes.
+func (c *Classifier) MemBytes() int {
+	mem := c.Manager.DD().MemBytes()
+	tree := c.Manager.Tree()
+	perLeaf := 64 // node struct
+	mem += tree.NumLeaves() * (perLeaf + (c.Manager.Tree().NumPreds()+7)/8)
+	mem += (tree.NumLeaves() - 1) * perLeaf // internal nodes
+	return mem
+}
+
+// Reconstruct rebuilds the AP Tree (optionally distribution-aware) and
+// swaps it in; safe concurrently with queries and updates.
+func (c *Classifier) Reconstruct(weighted bool) { c.Manager.Reconstruct(weighted) }
+
+// AddFwdRule installs a forwarding rule on a box and updates the AP Tree
+// in real time. LPM shadowing means one rule change can alter several port
+// predicates; every changed port predicate is re-registered (old ID
+// tombstoned, new ID added), which is the rule-update-to-predicate-change
+// conversion of §VI-A.
+func (c *Classifier) AddFwdRule(box int, r rule.FwdRule) {
+	c.Dataset.Boxes[box].Fwd.Add(r)
+	c.reconvertBox(box)
+}
+
+// RemoveFwdRule removes a forwarding rule (by exact prefix) from a box and
+// updates the AP Tree in real time.
+func (c *Classifier) RemoveFwdRule(box int, p rule.Prefix) bool {
+	if !c.Dataset.Boxes[box].Fwd.Remove(p) {
+		return false
+	}
+	c.reconvertBox(box)
+	return true
+}
+
+// SetPortACL installs, replaces, or (with nil) removes the egress ACL of a
+// port, converting it to a predicate and updating the AP Tree in real time.
+// Like the rule-level updates, callers must externally synchronize with
+// Behavior.
+func (c *Classifier) SetPortACL(box, port int, acl *rule.ACL) {
+	if acl == nil {
+		delete(c.Dataset.Boxes[box].PortACL, port)
+	} else {
+		c.Dataset.Boxes[box].PortACL[port] = acl
+	}
+	c.Manager.Update(func(tx *aptree.Tx) {
+		if old := c.Net.Boxes[box].Ports[port].OutACL; old != network.NoPred {
+			tx.Delete(old)
+		}
+		id := network.NoPred
+		if acl != nil {
+			id = tx.Add(predicate.ACLPredicate(tx.DD(), c.Layout, acl))
+		}
+		c.Net.Boxes[box].Ports[port].OutACL = id
+	})
+}
+
+// SetInACL installs, replaces, or (with nil) removes a box's ingress ACL.
+func (c *Classifier) SetInACL(box int, acl *rule.ACL) {
+	c.Dataset.Boxes[box].InACL = acl
+	c.Manager.Update(func(tx *aptree.Tx) {
+		if old := c.Net.Boxes[box].InACL; old != network.NoPred {
+			tx.Delete(old)
+		}
+		id := network.NoPred
+		if acl != nil {
+			id = tx.Add(predicate.ACLPredicate(tx.DD(), c.Layout, acl))
+		}
+		c.Net.Boxes[box].InACL = id
+	})
+}
+
+// reconvertBox recomputes a box's port predicates and swaps the changed
+// ones in the registry, tree, and topology, atomically under one update
+// transaction. Callers of AddFwdRule/RemoveFwdRule must externally
+// synchronize with Behavior: topology predicate IDs are plain fields.
+func (c *Classifier) reconvertBox(box int) {
+	spec := &c.Dataset.Boxes[box]
+	c.Manager.Update(func(tx *aptree.Tx) {
+		preds := predicate.PortPredicates(tx.DD(), c.Layout, "dstIP", &spec.Fwd, spec.NumPorts)
+		for pi := 0; pi < spec.NumPorts; pi++ {
+			oldID := c.PortPred[box][pi]
+			oldRef := bdd.False
+			if oldID != network.NoPred {
+				oldRef = tx.Ref(oldID)
+			}
+			if preds[pi] == oldRef {
+				continue
+			}
+			newID := network.NoPred
+			if oldID != network.NoPred {
+				tx.Delete(oldID)
+			}
+			if preds[pi] != bdd.False {
+				newID = tx.Add(preds[pi])
+			}
+			c.PortPred[box][pi] = newID
+			c.Net.Boxes[box].Ports[pi].Fwd = newID
+		}
+	})
+}

@@ -1,0 +1,113 @@
+// Command apbench regenerates the paper's evaluation tables and figures
+// (§VII) on the synthetic datasets and prints them as text tables.
+//
+// Usage:
+//
+//	apbench [-scale small|mid|full] [-run all|tableI,fig4,fig9,fig10,mem,fig11,fig12,fig13,fig14,fig15,tableII]
+//
+// At -scale full the rule volumes match Table I of the paper (≈126k rules
+// for Internet2, ≈757k + 1,584 ACL rules for Stanford); expect several
+// minutes of dataset compilation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"apclassifier/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "", "dataset scale: small, mid (default) or full; overrides APBENCH_SCALE")
+	runFlag := flag.String("run", "all", "comma-separated experiment ids (tableI,fig4,fig9,fig10,mem,fig11,fig12,fig13,fig14,fig15,tableII,optgap,scaling) or 'all'")
+	dur := flag.Duration("dur", 200*time.Millisecond, "minimum measurement duration per throughput point")
+	trees := flag.Int("trees", 0, "random trees for fig4/fig9/fig10/fig12 (0 = scale default)")
+	flag.Parse()
+
+	if *scaleFlag != "" {
+		os.Setenv("APBENCH_SCALE", *scaleFlag)
+	}
+	scale := experiments.DefaultScale()
+
+	nTrees := *trees
+	if nTrees == 0 {
+		nTrees = 20
+		if scale.Name == "full" {
+			nTrees = 100 // the paper's Best-from-Random uses 100 trees
+		}
+	}
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*runFlag, ",") {
+		want[strings.TrimSpace(id)] = true
+	}
+	sel := func(id string) bool { return want["all"] || want[id] }
+
+	fmt.Printf("building datasets at scale %q (internet2 ×%.3g, stanford ×%.3g)...\n",
+		scale.Name, scale.I2, scale.SF)
+	start := time.Now()
+	env, err := experiments.NewEnv(scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("datasets compiled in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	print := func(tabs ...*experiments.Table) {
+		for _, t := range tabs {
+			fmt.Println(t)
+		}
+	}
+
+	if sel("tableI") {
+		print(env.TableI())
+	}
+	if sel("fig4") {
+		print(env.Fig4(nTrees, 256, *dur)...)
+	}
+	if sel("fig9") {
+		print(env.Fig9(nTrees))
+	}
+	if sel("fig10") {
+		print(env.Fig10(nTrees)...)
+	}
+	if sel("mem") {
+		print(env.MemoryUsage())
+	}
+	if sel("fig11") {
+		print(env.Fig11(nTrees))
+	}
+	if sel("fig12") {
+		print(env.Fig12(nTrees, 256, *dur))
+	}
+	if sel("fig13") {
+		print(env.Fig13(40)...)
+	}
+	if sel("fig14") {
+		for _, rate := range []int{100, 200} {
+			print(env.Fig14(rate, 1200*time.Millisecond, 100*time.Millisecond, 400*time.Millisecond)...)
+		}
+	}
+	if sel("fig15") {
+		print(env.Fig15(10, 512, *dur)...)
+	}
+	if sel("tableII") {
+		print(env.TableII(256, *dur))
+	}
+	if sel("optgap") {
+		print(env.OptimalityGap(10, 20))
+	}
+	if sel("ruleupdate") {
+		print(env.RuleUpdateCost(60))
+	}
+	if sel("scaling") {
+		scales := []float64{0.02, 0.05, 0.1, 0.2, 0.5}
+		if scale.Name == "full" {
+			scales = append(scales, 1.0)
+		}
+		print(env.Scaling(scales, 256, *dur))
+	}
+}

@@ -1,0 +1,74 @@
+// Command apserver runs AP Classifier as an HTTP/JSON service — the form
+// an SDN controller would consume it in.
+//
+//	apserver -net internet2 -scale 0.05 -listen :8080
+//	curl -s localhost:8080/stats
+//	curl -s -X POST localhost:8080/query -d '{"ingress":"seattle","dst":"10.1.2.3"}'
+//	curl -s -X POST localhost:8080/rules/add -d '{"box":"seattle","prefix":"240.0.0.0/8","port":-1}'
+//	curl -s localhost:8080/verify/loops
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"apclassifier"
+	"apclassifier/internal/netgen"
+	"apclassifier/internal/server"
+)
+
+func main() {
+	netName := flag.String("net", "internet2", "dataset: internet2, stanford or multitenant")
+	scale := flag.Float64("scale", 0.05, "rule-volume scale")
+	seed := flag.Int64("seed", 1, "generator seed")
+	load := flag.String("load", "", "load a dataset snapshot file instead of generating")
+	listen := flag.String("listen", ":8080", "listen address")
+	flag.Parse()
+
+	var ds *netgen.Dataset
+	var err error
+	switch {
+	case *load != "":
+		f, ferr := os.Open(*load)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		ds, err = netgen.Read(f)
+		f.Close()
+	case *netName == "internet2":
+		ds = netgen.Internet2Like(netgen.Config{Seed: *seed, RuleScale: *scale})
+	case *netName == "stanford":
+		ds = netgen.StanfordLike(netgen.Config{Seed: *seed, RuleScale: *scale})
+	case *netName == "multitenant":
+		ds = netgen.MultiTenantLike(4, 3, *seed)
+	default:
+		err = fmt.Errorf("unknown network %q", *netName)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	start := time.Now()
+	c, err := apclassifier.New(ds, apclassifier.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s compiled in %v: %d rules, %d predicates, %d atoms\n",
+		ds.Name, time.Since(start).Round(time.Millisecond),
+		ds.NumRules(), c.NumPredicates(), c.NumAtoms())
+	fmt.Printf("listening on %s\n", *listen)
+	srv := &http.Server{
+		Addr:              *listen,
+		Handler:           server.New(c).Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fatal(srv.ListenAndServe())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "apserver:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,146 @@
+// Command apverify runs network-wide invariant checks over a dataset:
+// exact reachability sets, loop freedom, blackholes, waypoint enforcement,
+// pairwise isolation, and the box connectivity matrix.
+//
+// Usage examples:
+//
+//	apverify -net internet2 -scale 0.02 -loops -matrix
+//	apverify -load snapshot.txt -reach seattle:h2_9
+//	apverify -net stanford -scale 0.01 -waypoint zone00:h6_14:bbra
+//	apverify -net internet2 -isolated seattle:atlanta
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"apclassifier"
+	"apclassifier/internal/netgen"
+	"apclassifier/internal/verify"
+)
+
+func main() {
+	netName := flag.String("net", "internet2", "dataset: internet2, stanford or multitenant")
+	scale := flag.Float64("scale", 0.02, "rule-volume scale")
+	seed := flag.Int64("seed", 1, "generator seed")
+	load := flag.String("load", "", "load a dataset snapshot file instead of generating")
+	loops := flag.Bool("loops", false, "check loop freedom for all packets from all ingresses")
+	matrix := flag.Bool("matrix", false, "print the box connectivity matrix")
+	reach := flag.String("reach", "", "box:host — print the exact packet set reaching host from box")
+	blackholes := flag.String("blackholes", "", "box — print the packet set blackholed from box")
+	waypoint := flag.String("waypoint", "", "box:host:waypoint — packets reaching host from box that bypass waypoint")
+	isolated := flag.String("isolated", "", "boxA:boxB — report whether boxB is unreachable from boxA")
+	flag.Parse()
+
+	var ds *netgen.Dataset
+	var err error
+	switch {
+	case *load != "":
+		f, ferr := os.Open(*load)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		ds, err = netgen.Read(f)
+		f.Close()
+	case *netName == "internet2":
+		ds = netgen.Internet2Like(netgen.Config{Seed: *seed, RuleScale: *scale})
+	case *netName == "stanford":
+		ds = netgen.StanfordLike(netgen.Config{Seed: *seed, RuleScale: *scale})
+	case *netName == "multitenant":
+		ds = netgen.MultiTenantLike(4, 3, *seed)
+	default:
+		err = fmt.Errorf("unknown network %q", *netName)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	c, err := apclassifier.New(ds, apclassifier.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	a := verify.New(c)
+	fmt.Printf("%s: %d boxes, %d rules, %d predicates, %d atoms\n",
+		ds.Name, len(ds.Boxes), ds.NumRules(), c.NumPredicates(), a.NumAtoms())
+
+	boxID := func(name string) int {
+		id := c.Net.BoxByName(name)
+		if id < 0 {
+			fatal(fmt.Errorf("no box named %q", name))
+		}
+		return id
+	}
+
+	if *reach != "" {
+		parts := split(*reach, 2)
+		set := a.ReachSet(boxID(parts[0]), parts[1])
+		fmt.Printf("reach(%s -> %s): %s\n", parts[0], parts[1], a.Describe(set))
+	}
+	if *blackholes != "" {
+		set := a.Blackholes(boxID(*blackholes))
+		fmt.Printf("blackholes(%s): %s\n", *blackholes, a.Describe(set))
+	}
+	if *waypoint != "" {
+		parts := split(*waypoint, 3)
+		set := a.WaypointViolations(boxID(parts[0]), parts[1], boxID(parts[2]))
+		status := "HOLDS"
+		if a.Describe(set) != "(empty)" {
+			status = "VIOLATED"
+		}
+		fmt.Printf("waypoint %s for %s->%s: %s (%s)\n", parts[2], parts[0], parts[1], status, a.Describe(set))
+	}
+	if *isolated != "" {
+		parts := split(*isolated, 2)
+		from, to := boxID(parts[0]), boxID(parts[1])
+		if a.Isolated(from, to) {
+			fmt.Printf("isolation %s -x- %s: HOLDS\n", parts[0], parts[1])
+		} else {
+			fmt.Printf("isolation %s -x- %s: VIOLATED, e.g. %s\n", parts[0], parts[1], a.Describe(a.CanReach(from, to)))
+		}
+	}
+	if *loops {
+		ls := a.Loops()
+		if len(ls) == 0 {
+			fmt.Println("loop freedom: HOLDS for every packet from every ingress")
+		} else {
+			fmt.Printf("loop freedom: VIOLATED by %d (ingress, atom) pairs\n", len(ls))
+			for i, l := range ls {
+				if i == 5 {
+					fmt.Printf("  ... and %d more\n", len(ls)-5)
+					break
+				}
+				fmt.Printf("  atom %d from %s\n", l.AtomID, c.Net.Boxes[l.Ingress].Name)
+			}
+		}
+	}
+	if *matrix {
+		m := a.ReachabilityMatrix()
+		fmt.Printf("%14s", "")
+		for _, b := range c.Net.Boxes {
+			fmt.Printf("%7.6s", b.Name)
+		}
+		fmt.Println()
+		for i, row := range m {
+			fmt.Printf("%14s", c.Net.Boxes[i].Name)
+			for _, v := range row {
+				fmt.Printf("%7d", v)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func split(s string, n int) []string {
+	parts := strings.Split(s, ":")
+	if len(parts) != n {
+		fatal(fmt.Errorf("expected %d colon-separated fields in %q", n, s))
+	}
+	return parts
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "apverify:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module apclassifier
+
+go 1.22

@@ -1,0 +1,77 @@
+package aptree
+
+import (
+	"math/rand"
+	"testing"
+
+	"apclassifier/internal/bdd"
+)
+
+func benchSetup(b *testing.B, numPreds int) (*bdd.DD, Input, [][]byte) {
+	rng := rand.New(rand.NewSource(1))
+	d := bdd.New(32)
+	preds := make([]bdd.Ref, numPreds)
+	for i := range preds {
+		preds[i] = d.Retain(d.FromPrefix(0, uint64(rng.Uint32()), 8+rng.Intn(17), 32))
+	}
+	in := buildInput(d, preds, rng)
+	trace := make([][]byte, 1024)
+	for i := range trace {
+		trace[i] = make([]byte, 4)
+		rng.Read(trace[i])
+	}
+	return d, in, trace
+}
+
+func BenchmarkBuildOAPT(b *testing.B) {
+	_, in, _ := benchSetup(b, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(in, MethodOAPT).Drop()
+	}
+}
+
+func BenchmarkBuildQuick(b *testing.B) {
+	_, in, _ := benchSetup(b, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(in, MethodQuick).Drop()
+	}
+}
+
+func BenchmarkTreeClassify(b *testing.B) {
+	_, in, trace := benchSetup(b, 64)
+	tree := Build(in, MethodOAPT)
+	b.ReportMetric(tree.AverageDepth(), "avg-depth")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Classify(trace[i%len(trace)])
+	}
+}
+
+func BenchmarkAddPredicate(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	d, in, _ := benchSetup(b, 48)
+	tree := Build(in, MethodOAPT)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := d.FromPrefix(0, uint64(rng.Uint32()), 8+rng.Intn(17), 32)
+		tree.AddPredicate(int32(len(in.Preds)+i), d.Retain(p))
+	}
+}
+
+func BenchmarkManagerClassifyUnderRLock(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	m := NewManager(16, MethodOAPT)
+	for i := 0; i < 40; i++ {
+		addRandomPredicate(m, rng)
+	}
+	trace := make([][]byte, 1024)
+	for i := range trace {
+		trace[i] = []byte{byte(rng.Intn(256)), byte(rng.Intn(256))}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Classify(trace[i%len(trace)])
+	}
+}

@@ -1,0 +1,348 @@
+package aptree
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"apclassifier/internal/bdd"
+	"apclassifier/internal/predicate"
+)
+
+// Manager pairs a live AP Tree with its predicate registry and implements
+// the paper's two-process operation (§VI): queries and real-time updates
+// are served from the live tree, while Reconstruct — typically run on its
+// own goroutine — rebuilds an optimized tree from a snapshot, replays the
+// updates that arrived meanwhile, and atomically swaps it in.
+//
+// Every rebuild happens in a fresh BDD manager so that the live DD is only
+// ever mutated under the write lock; queries evaluate it under the read
+// lock, and the rebuild goroutine reads it only while holding the read
+// lock (during predicate transfer).
+type Manager struct {
+	mu   sync.RWMutex
+	d    *bdd.DD
+	reg  *Registry
+	tree *Tree
+	// version increments at every swap; consumers caching per-tree data
+	// (e.g. middlebox flow tables) invalidate on change.
+	version uint64
+
+	method Method
+
+	rebuildMu sync.Mutex
+	journal   []journalOp // non-nil while a rebuild is in flight
+
+	// updatesSinceSwap counts Add/Delete operations applied to the live
+	// tree since the last reconstruction; the auto-reconstruction policy
+	// triggers on it (§VI-B: "the number of updates on the current AP
+	// Tree is higher than a threshold").
+	updatesSinceSwap int
+}
+
+type journalOp struct {
+	del bool
+	id  int32
+	ref bdd.Ref // in the DD that was live when the op was journaled
+}
+
+// NewManager returns a manager over an empty predicate set (every packet
+// classifies to the single atom True).
+func NewManager(numVars int, method Method) *Manager {
+	d := bdd.New(numVars)
+	m := &Manager{d: d, reg: NewRegistry(), method: method}
+	m.tree = Build(Input{
+		D:     d,
+		Preds: nil,
+		Live:  nil,
+		Atoms: predicate.Compute(d, nil),
+	}, MethodOrder)
+	return m
+}
+
+// NewManagerWith wraps an already-built tree, its DD and its registry in a
+// manager. It is the batch-construction path: converting a whole dataset
+// and building the tree once is far cheaper than AddPredicate per
+// predicate. The registry must hold retained refs in d, and the tree must
+// have been built from the registry's live predicates.
+func NewManagerWith(d *bdd.DD, reg *Registry, tree *Tree, method Method) *Manager {
+	return &Manager{d: d, reg: reg, tree: tree, method: method}
+}
+
+// DD returns the live BDD manager. Callers must only use it inside
+// AddPredicate's build callback or while holding no expectation of
+// stability across updates; it exists mainly for tests and experiments.
+func (m *Manager) DD() *bdd.DD {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.d
+}
+
+// Tree returns the live tree (snapshot pointer; safe to read concurrently
+// with queries, not with updates).
+func (m *Manager) Tree() *Tree {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.tree
+}
+
+// Version reports the reconstruction epoch.
+func (m *Manager) Version() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.version
+}
+
+// NumLive reports the number of live predicates.
+func (m *Manager) NumLive() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.reg.NumLive()
+}
+
+// Classify returns the leaf for pkt together with the epoch it came from.
+func (m *Manager) Classify(pkt []byte) (*Node, uint64) {
+	m.mu.RLock()
+	n := m.tree.Classify(pkt)
+	v := m.version
+	m.mu.RUnlock()
+	return n, v
+}
+
+// Tx is a handle for compound predicate updates executed atomically under
+// the manager's write lock; see Manager.Update.
+type Tx struct {
+	m *Manager
+}
+
+// DD returns the live BDD manager; valid only inside the Update callback.
+func (tx *Tx) DD() *bdd.DD { return tx.m.d }
+
+// Ref returns the BDD of predicate id.
+func (tx *Tx) Ref(id int32) bdd.Ref { return tx.m.reg.Ref(id) }
+
+// IsLive reports whether predicate id is not tombstoned.
+func (tx *Tx) IsLive(id int32) bool { return tx.m.reg.IsLive(id) }
+
+// Add registers a predicate BDD (built in tx.DD()) and splices it into the
+// live tree in real time (§VI-A), returning its new global ID.
+func (tx *Tx) Add(ref bdd.Ref) int32 {
+	m := tx.m
+	m.d.Retain(ref)
+	id := m.reg.Add(ref)
+	m.tree.AddPredicate(id, ref)
+	m.updatesSinceSwap++
+	if m.journal != nil {
+		m.journal = append(m.journal, journalOp{id: id, ref: ref})
+	}
+	return id
+}
+
+// Delete tombstones a predicate (§VI-A): the live tree keeps routing on
+// it, but behavior computation skips it; the next reconstruction removes
+// it physically.
+func (tx *Tx) Delete(id int32) {
+	m := tx.m
+	m.reg.Delete(id)
+	m.updatesSinceSwap++
+	if m.journal != nil {
+		m.journal = append(m.journal, journalOp{del: true, id: id})
+	}
+}
+
+// Update runs fn under the write lock. All predicate changes triggered by
+// one data-plane event (a rule insertion can alter several port
+// predicates through LPM shadowing) should share one Update so queries see
+// them atomically.
+func (m *Manager) Update(fn func(tx *Tx)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fn(&Tx{m})
+}
+
+// AddPredicate registers a new predicate and updates the live tree in real
+// time (§VI-A). The build callback constructs the predicate's BDD in the
+// live DD under the write lock; it must not retain the *DD.
+func (m *Manager) AddPredicate(build func(d *bdd.DD) bdd.Ref) int32 {
+	var id int32
+	m.Update(func(tx *Tx) { id = tx.Add(build(tx.DD())) })
+	return id
+}
+
+// DeletePredicate tombstones a predicate; see Tx.Delete.
+func (m *Manager) DeletePredicate(id int32) {
+	m.Update(func(tx *Tx) { tx.Delete(id) })
+}
+
+// Ref returns the BDD of predicate id in the live DD. The ref is only
+// stable until the next Reconstruct swap.
+func (m *Manager) Ref(id int32) bdd.Ref {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.reg.Ref(id)
+}
+
+// IsLive reports whether predicate id is not tombstoned.
+func (m *Manager) IsLive(id int32) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.reg.IsLive(id)
+}
+
+// LiveIDs returns the live predicate IDs.
+func (m *Manager) LiveIDs() []int32 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.reg.LiveIDs()
+}
+
+// Reconstruct rebuilds an optimized tree from the current live predicates
+// and swaps it in (§VI-B). If weighted is true, per-leaf visit counters of
+// the old tree are carried over as atom weights so frequently queried atoms
+// end up closer to the root (§V-D). Reconstruct is safe to run concurrently
+// with Classify/AddPredicate/DeletePredicate; concurrent Reconstruct calls
+// serialize.
+func (m *Manager) Reconstruct(weighted bool) {
+	m.rebuildMu.Lock()
+	defer m.rebuildMu.Unlock()
+
+	// Phase 1: open the journal and snapshot the live predicate set.
+	m.mu.Lock()
+	m.journal = []journalOp{}
+	snap := m.reg.Clone()
+	oldD := m.d
+	type leafWeight struct {
+		ref bdd.Ref
+		w   float64
+	}
+	var weights []leafWeight
+	if weighted {
+		m.tree.Leaves(func(n *Node) {
+			if v := n.Visits(); v > 0 {
+				weights = append(weights, leafWeight{n.BDD, float64(v)})
+			}
+		})
+	}
+	m.mu.Unlock()
+
+	// Phase 2: transfer live predicates (and weighted leaf BDDs) into a
+	// private DD. Reading oldD requires the read lock because concurrent
+	// updates mutate it.
+	newD := bdd.New(oldD.NumVars())
+	liveIDs := snap.LiveIDs()
+	newRefs := make([]bdd.Ref, snap.NumIDs())
+	m.mu.RLock()
+	for _, id := range liveIDs {
+		newRefs[id] = bdd.Transfer(newD, oldD, snap.Ref(id))
+	}
+	weightByRef := make(map[bdd.Ref]float64, len(weights))
+	for _, lw := range weights {
+		weightByRef[bdd.Transfer(newD, oldD, lw.ref)] = lw.w
+	}
+	m.mu.RUnlock()
+	for _, id := range liveIDs {
+		newD.Retain(newRefs[id])
+	}
+
+	// Phase 3: compute atoms and build the new tree, entirely in the
+	// private DD — no locks, queries continue on the old tree.
+	liveRefs := make([]bdd.Ref, len(liveIDs))
+	intIDs := make([]int, len(liveIDs))
+	for i, id := range liveIDs {
+		liveRefs[i] = newRefs[id]
+		intIDs[i] = int(id)
+	}
+	atoms := predicate.ComputeMapped(newD, liveRefs, intIDs, snap.NumIDs())
+	var atomWeights []float64
+	if weighted && len(weightByRef) > 0 {
+		atomWeights = make([]float64, atoms.N())
+		for i, ref := range atoms.List {
+			if w, ok := weightByRef[ref]; ok {
+				atomWeights[i] = w
+			} else {
+				atomWeights[i] = 1 // new or re-cut atom: neutral weight
+			}
+		}
+	}
+	newTree := Build(Input{
+		D:       newD,
+		Preds:   newRefs,
+		Live:    liveIDs,
+		Atoms:   atoms,
+		Weights: atomWeights,
+		Rand:    rand.New(rand.NewSource(1)),
+	}, m.method)
+
+	// Phase 4: replay updates that arrived during the rebuild, then swap.
+	m.mu.Lock()
+	for _, op := range m.journal {
+		if op.del {
+			continue // registry already tombstoned; new tree never placed it
+		}
+		ref := bdd.Transfer(newD, oldD, op.ref)
+		newD.Retain(ref)
+		for int32(len(newRefs)) <= op.id {
+			newRefs = append(newRefs, bdd.False)
+		}
+		newRefs[op.id] = ref
+		newTree.AddPredicate(op.id, ref)
+	}
+	// Point every live registry entry at the new DD; tombstoned slots die.
+	for id := range m.reg.refs {
+		if m.reg.live[id] {
+			m.reg.refs[id] = newRefs[id]
+		} else {
+			m.reg.refs[id] = bdd.False
+		}
+	}
+	m.d = newD
+	m.tree = newTree
+	m.version++
+	// Updates replayed from the journal are already in the new tree but
+	// count toward the next rebuild trigger, since the new tree was not
+	// optimized for them.
+	m.updatesSinceSwap = len(m.journal)
+	m.journal = nil
+	m.mu.Unlock()
+}
+
+// UpdatesSinceSwap reports tree updates applied since the last
+// reconstruction swap.
+func (m *Manager) UpdatesSinceSwap() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.updatesSinceSwap
+}
+
+// AutoReconstruct starts the §VI-B reconstruction policy on its own
+// goroutine: every interval it checks whether at least threshold updates
+// hit the live tree since the last swap and, if so, rebuilds (optionally
+// distribution-aware) and swaps. The returned stop function halts the
+// policy and waits for any in-flight rebuild to finish.
+func (m *Manager) AutoReconstruct(threshold int, interval time.Duration, weighted bool) (stop func()) {
+	if threshold < 1 {
+		panic("aptree: AutoReconstruct threshold must be >= 1")
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				if m.UpdatesSinceSwap() >= threshold {
+					m.Reconstruct(weighted)
+				}
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+	}
+}

@@ -1,0 +1,126 @@
+package aptree
+
+import (
+	"fmt"
+
+	"apclassifier/internal/bdd"
+)
+
+// AddPredicate installs a new predicate with the given global ID into the
+// tree per §VI-A: every leaf whose atom straddles p is split into a node
+// labeled id with two child leaves (atom∧p and atom∧¬p); leaves entirely
+// inside p just gain the membership bit. The tree remains a correct
+// classifier for the enlarged predicate set immediately.
+//
+// The caller must serialize AddPredicate with queries (the paper's query
+// process applies updates and answers queries in one thread of control).
+func (t *Tree) AddPredicate(id int32, p bdd.Ref) {
+	if int(id) < len(t.preds) && t.preds[id] != bdd.False {
+		panic(fmt.Sprintf("aptree: predicate ID %d already present", id))
+	}
+	for int(id) >= len(t.preds) {
+		t.preds = append(t.preds, bdd.False)
+	}
+	t.preds[id] = p
+	t.root = t.addRec(t.root, id, p)
+}
+
+func (t *Tree) addRec(n *Node, id int32, p bdd.Ref) *Node {
+	if !n.IsLeaf() {
+		n.T = t.addRec(n.T, id, p)
+		n.F = t.addRec(n.F, id, p)
+		return n
+	}
+	d := t.D
+	tr := d.And(n.BDD, p)
+	switch tr {
+	case bdd.False:
+		// Atom entirely outside p; membership bit stays clear. The vector
+		// may need growing so later Get(id) is in range.
+		n.Member = n.Member.Clone(len(t.preds))
+		return n
+	case n.BDD:
+		// Atom entirely inside p.
+		n.Member = n.Member.Clone(len(t.preds))
+		n.Member.Set(int(id), true)
+		return n
+	}
+	// Straddles: split the leaf.
+	fr := d.Diff(n.BDD, p)
+	mt := n.Member.Clone(len(t.preds))
+	mt.Set(int(id), true)
+	mf := n.Member.Clone(len(t.preds))
+	d.Retain(tr)
+	d.Retain(fr)
+	d.Release(n.BDD)
+	tLeaf := &Node{Pred: -1, Depth: n.Depth + 1, AtomID: t.nextAtom, BDD: tr, Member: mt}
+	fLeaf := &Node{Pred: -1, Depth: n.Depth + 1, AtomID: t.nextAtom + 1, BDD: fr, Member: mf}
+	t.nextAtom += 2
+	t.numLeaves++
+	return &Node{Pred: id, Depth: n.Depth, T: tLeaf, F: fLeaf}
+}
+
+// Registry assigns stable global IDs to predicate BDDs and tracks
+// tombstones. IDs are never reused: a deleted predicate's slot stays dead
+// so membership vectors and network references remain unambiguous.
+type Registry struct {
+	refs []bdd.Ref
+	live []bool
+	n    int // live count
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Add registers a predicate BDD and returns its new global ID.
+func (r *Registry) Add(ref bdd.Ref) int32 {
+	r.refs = append(r.refs, ref)
+	r.live = append(r.live, true)
+	r.n++
+	return int32(len(r.refs) - 1)
+}
+
+// Delete tombstones an ID per §VI-A. The predicate may keep routing inside
+// existing AP Trees, but behavior computation must ignore it.
+func (r *Registry) Delete(id int32) {
+	if !r.live[id] {
+		panic(fmt.Sprintf("aptree: double delete of predicate %d", id))
+	}
+	r.live[id] = false
+	r.n--
+}
+
+// Ref returns the BDD of predicate id (valid even if tombstoned).
+func (r *Registry) Ref(id int32) bdd.Ref { return r.refs[id] }
+
+// IsLive reports whether id has not been deleted.
+func (r *Registry) IsLive(id int32) bool { return r.live[id] }
+
+// NumIDs reports the size of the ID space (live + tombstoned).
+func (r *Registry) NumIDs() int { return len(r.refs) }
+
+// NumLive reports the number of live predicates.
+func (r *Registry) NumLive() int { return r.n }
+
+// LiveIDs returns the live IDs in increasing order.
+func (r *Registry) LiveIDs() []int32 {
+	ids := make([]int32, 0, r.n)
+	for i, l := range r.live {
+		if l {
+			ids = append(ids, int32(i))
+		}
+	}
+	return ids
+}
+
+// Refs returns the full ID-indexed BDD slice (tombstoned slots included).
+func (r *Registry) Refs() []bdd.Ref { return r.refs }
+
+// Clone returns an independent copy (used to snapshot for reconstruction).
+func (r *Registry) Clone() *Registry {
+	return &Registry{
+		refs: append([]bdd.Ref(nil), r.refs...),
+		live: append([]bool(nil), r.live...),
+		n:    r.n,
+	}
+}

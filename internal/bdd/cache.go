@@ -1,0 +1,54 @@
+package bdd
+
+// opCache is a direct-mapped cache for apply/ite results. A fixed-size
+// array cache (rather than a map) keeps the hot classification-construction
+// path allocation-free; collisions simply overwrite.
+type opCache struct {
+	entries []cacheEntry
+	mask    uint32
+}
+
+type cacheEntry struct {
+	a, b, c Ref
+	op      uint8
+	valid   bool
+	result  Ref
+}
+
+func (c *opCache) init(size int) {
+	c.entries = make([]cacheEntry, size)
+	c.mask = uint32(size - 1)
+}
+
+func (c *opCache) memBytes() int { return len(c.entries) * 20 }
+
+func (c *opCache) clear() {
+	for i := range c.entries {
+		c.entries[i].valid = false
+	}
+}
+
+func cacheHash(op uint8, a, b, c Ref) uint32 {
+	h := uint64(uint32(a))*0x9e3779b97f4a7c15 + uint64(uint32(b))*0xc2b2ae3d27d4eb4f + uint64(uint32(c))*0x165667b19e3779f9 + uint64(op)
+	h ^= h >> 31
+	h *= 0x7fb5d329728ea185
+	h ^= h >> 29
+	return uint32(h)
+}
+
+func (c *opCache) get2(op uint8, a, b Ref) (Ref, bool) { return c.get3(op, a, b, 0) }
+
+func (c *opCache) put2(op uint8, a, b, r Ref) { c.put3(op, a, b, 0, r) }
+
+func (c *opCache) get3(op uint8, a, b, cc Ref) (Ref, bool) {
+	e := &c.entries[cacheHash(op, a, b, cc)&c.mask]
+	if e.valid && e.op == op && e.a == a && e.b == b && e.c == cc {
+		return e.result, true
+	}
+	return 0, false
+}
+
+func (c *opCache) put3(op uint8, a, b, cc, r Ref) {
+	e := &c.entries[cacheHash(op, a, b, cc)&c.mask]
+	*e = cacheEntry{a: a, b: b, c: cc, op: op, valid: true, result: r}
+}

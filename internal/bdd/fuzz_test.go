@@ -1,0 +1,92 @@
+package bdd
+
+import "testing"
+
+// FuzzFromRange cross-checks the range-to-prefix decomposition against
+// direct comparison for arbitrary bounds and probes.
+func FuzzFromRange(f *testing.F) {
+	f.Add(uint16(0), uint16(65535), uint16(80))
+	f.Add(uint16(80), uint16(80), uint16(80))
+	f.Add(uint16(1024), uint16(65535), uint16(1023))
+	f.Add(uint16(1), uint16(65534), uint16(65535))
+	d := New(16)
+	f.Fuzz(func(t *testing.T, lo, hi, probe uint16) {
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		r := d.FromRange(0, uint64(lo), uint64(hi), 16)
+		bits := []byte{byte(probe >> 8), byte(probe)}
+		want := probe >= lo && probe <= hi
+		if got := d.EvalBits(r, bits); got != want {
+			t.Fatalf("range [%d,%d] probe %d: got %v want %v", lo, hi, probe, got, want)
+		}
+		if got, want := d.SatCount(r), float64(int(hi)-int(lo)+1); got != want {
+			t.Fatalf("range [%d,%d]: SatCount %v want %v", lo, hi, got, want)
+		}
+	})
+}
+
+// FuzzTernary checks FromTernary against character-by-character matching.
+func FuzzTernary(f *testing.F) {
+	f.Add("10**01", uint16(0b1011010000000000))
+	f.Add("****************", uint16(0))
+	f.Add("0000000000000000", uint16(1))
+	d := New(16)
+	f.Fuzz(func(t *testing.T, pattern string, probe uint16) {
+		if len(pattern) > 16 {
+			pattern = pattern[:16]
+		}
+		for _, c := range []byte(pattern) {
+			if c != '0' && c != '1' && c != '*' {
+				return // invalid patterns are rejected by panic; not fuzzed here
+			}
+		}
+		r := d.FromTernary(pattern)
+		bits := []byte{byte(probe >> 8), byte(probe)}
+		want := true
+		for i := 0; i < len(pattern); i++ {
+			bit := probe&(1<<uint(15-i)) != 0
+			if pattern[i] == '1' && !bit || pattern[i] == '0' && bit {
+				want = false
+			}
+		}
+		if got := d.EvalBits(r, bits); got != want {
+			t.Fatalf("pattern %q probe %016b: got %v want %v", pattern, probe, got, want)
+		}
+	})
+}
+
+// FuzzPrefixOps checks the interplay of prefix BDDs under and/or/diff
+// against direct membership arithmetic.
+func FuzzPrefixOps(f *testing.F) {
+	f.Add(uint16(0xAB00), uint8(8), uint16(0xAB40), uint8(10), uint16(0xAB7F))
+	d := New(16)
+	f.Fuzz(func(t *testing.T, v1 uint16, l1 uint8, v2 uint16, l2 uint8, probe uint16) {
+		la, lb := int(l1%17), int(l2%17)
+		a := d.FromPrefix(0, uint64(v1), la, 16)
+		b := d.FromPrefix(0, uint64(v2), lb, 16)
+		inA := maskEq(probe, v1, la)
+		inB := maskEq(probe, v2, lb)
+		bits := []byte{byte(probe >> 8), byte(probe)}
+		if got := d.EvalBits(d.And(a, b), bits); got != (inA && inB) {
+			t.Fatal("and mismatch")
+		}
+		if got := d.EvalBits(d.Or(a, b), bits); got != (inA || inB) {
+			t.Fatal("or mismatch")
+		}
+		if got := d.EvalBits(d.Diff(a, b), bits); got != (inA && !inB) {
+			t.Fatal("diff mismatch")
+		}
+		if got := d.EvalBits(d.Xor(a, b), bits); got != (inA != inB) {
+			t.Fatal("xor mismatch")
+		}
+	})
+}
+
+func maskEq(probe, value uint16, length int) bool {
+	if length == 0 {
+		return true
+	}
+	mask := uint16(0xFFFF) << uint(16-length)
+	return probe&mask == value&mask
+}

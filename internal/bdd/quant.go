@@ -1,0 +1,144 @@
+package bdd
+
+import "fmt"
+
+// VarSet selects a subset of variables for quantification, as a sorted
+// list of variable indices.
+type VarSet []int
+
+// NewVarSet validates and normalizes a variable list.
+func NewVarSet(vars ...int) VarSet {
+	out := append(VarSet(nil), vars...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i] == out[i-1] {
+			panic(fmt.Sprintf("bdd: duplicate variable %d in VarSet", out[i]))
+		}
+	}
+	return out
+}
+
+func (vs VarSet) contains(v int32) bool {
+	for _, x := range vs {
+		if int32(x) == v {
+			return true
+		}
+		if int32(x) > v {
+			return false
+		}
+	}
+	return false
+}
+
+// Exists existentially quantifies the variables of vs out of f:
+// ∃x.f = f[x:=0] ∨ f[x:=1]. Used, e.g., to project a 5-tuple predicate
+// onto its destination field.
+func (d *DD) Exists(f Ref, vs VarSet) Ref {
+	memo := make(map[Ref]Ref)
+	var walk func(Ref) Ref
+	walk = func(f Ref) Ref {
+		if f <= True {
+			return f
+		}
+		if r, ok := memo[f]; ok {
+			return r
+		}
+		n := d.nodes[f]
+		lo, hi := walk(n.low), walk(n.high)
+		var r Ref
+		if vs.contains(n.level) {
+			r = d.Or(lo, hi)
+		} else {
+			r = d.mk(n.level, lo, hi)
+		}
+		memo[f] = r
+		return r
+	}
+	return walk(f)
+}
+
+// ForAll universally quantifies the variables of vs out of f:
+// ∀x.f = f[x:=0] ∧ f[x:=1].
+func (d *DD) ForAll(f Ref, vs VarSet) Ref {
+	memo := make(map[Ref]Ref)
+	var walk func(Ref) Ref
+	walk = func(f Ref) Ref {
+		if f <= True {
+			return f
+		}
+		if r, ok := memo[f]; ok {
+			return r
+		}
+		n := d.nodes[f]
+		lo, hi := walk(n.low), walk(n.high)
+		var r Ref
+		if vs.contains(n.level) {
+			r = d.And(lo, hi)
+		} else {
+			r = d.mk(n.level, lo, hi)
+		}
+		memo[f] = r
+		return r
+	}
+	return walk(f)
+}
+
+// Restrict cofactors f by the given partial assignment (variable → value):
+// every listed variable is fixed to its value and disappears from the
+// result.
+func (d *DD) Restrict(f Ref, assign map[int]bool) Ref {
+	memo := make(map[Ref]Ref)
+	var walk func(Ref) Ref
+	walk = func(f Ref) Ref {
+		if f <= True {
+			return f
+		}
+		if r, ok := memo[f]; ok {
+			return r
+		}
+		n := d.nodes[f]
+		var r Ref
+		if v, ok := assign[int(n.level)]; ok {
+			if v {
+				r = walk(n.high)
+			} else {
+				r = walk(n.low)
+			}
+		} else {
+			r = d.mk(n.level, walk(n.low), walk(n.high))
+		}
+		memo[f] = r
+		return r
+	}
+	return walk(f)
+}
+
+// Support returns the variables f actually depends on, in increasing
+// order.
+func (d *DD) Support(f Ref) []int {
+	seen := make(map[Ref]bool)
+	vars := make(map[int32]bool)
+	var walk func(Ref)
+	walk = func(f Ref) {
+		if f <= True || seen[f] {
+			return
+		}
+		seen[f] = true
+		n := d.nodes[f]
+		vars[n.level] = true
+		walk(n.low)
+		walk(n.high)
+	}
+	walk(f)
+	out := make([]int, 0, len(vars))
+	for v := int32(0); v < int32(d.numVars); v++ {
+		if vars[v] {
+			out = append(out, int(v))
+		}
+	}
+	return out
+}

@@ -1,0 +1,248 @@
+package bdd
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestExistsBasic(t *testing.T) {
+	d := New(4)
+	f := d.And(d.Var(0), d.Var(1))
+	// ∃x1.(x0 ∧ x1) = x0
+	if got := d.Exists(f, NewVarSet(1)); got != d.Var(0) {
+		t.Fatalf("Exists gave wrong function")
+	}
+	// ∃x0,x1.(x0 ∧ x1) = True
+	if got := d.Exists(f, NewVarSet(0, 1)); got != True {
+		t.Fatal("full quantification of satisfiable f must be True")
+	}
+	if d.Exists(False, NewVarSet(0)) != False {
+		t.Fatal("Exists(False) = False")
+	}
+}
+
+func TestForAllBasic(t *testing.T) {
+	d := New(4)
+	f := d.Or(d.Var(0), d.Var(1))
+	// ∀x1.(x0 ∨ x1) = x0
+	if got := d.ForAll(f, NewVarSet(1)); got != d.Var(0) {
+		t.Fatal("ForAll gave wrong function")
+	}
+	// ∀x0.(x0) = False
+	if got := d.ForAll(d.Var(0), NewVarSet(0)); got != False {
+		t.Fatal("∀x.x must be False")
+	}
+	if d.ForAll(True, NewVarSet(0, 1)) != True {
+		t.Fatal("ForAll(True) = True")
+	}
+}
+
+func TestQuantificationSemantics(t *testing.T) {
+	const nvars = 6
+	d := New(nvars)
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 100; trial++ {
+		form := genFormula(rng, 5, nvars)
+		f := form.build(d)
+		v := rng.Intn(nvars)
+		ex := d.Exists(f, NewVarSet(v))
+		fa := d.ForAll(f, NewVarSet(v))
+		for a := uint(0); a < 1<<nvars; a++ {
+			a0 := a &^ (1 << uint(v))
+			a1 := a | (1 << uint(v))
+			wantEx := form.eval(a0) || form.eval(a1)
+			wantFa := form.eval(a0) && form.eval(a1)
+			get := func(g Ref) bool {
+				return d.Eval(g, func(i int) bool { return a&(1<<uint(i)) != 0 })
+			}
+			if get(ex) != wantEx {
+				t.Fatalf("trial %d: Exists wrong at %06b", trial, a)
+			}
+			if get(fa) != wantFa {
+				t.Fatalf("trial %d: ForAll wrong at %06b", trial, a)
+			}
+		}
+		// Duality: ∃x.f = ¬∀x.¬f
+		if ex != d.Not(d.ForAll(d.Not(f), NewVarSet(v))) {
+			t.Fatalf("trial %d: quantifier duality violated", trial)
+		}
+	}
+}
+
+func TestExistsProjection(t *testing.T) {
+	// Project a (src, dst) predicate onto dst: a realistic use — the set
+	// of destinations some source can reach.
+	d := New(16)
+	srcVars := NewVarSet(0, 1, 2, 3, 4, 5, 6, 7)
+	f := d.And(
+		d.FromPrefix(0, 0xAB, 8, 8), // src == 0xAB
+		d.FromPrefix(8, 0x10, 4, 8), // dst in 0x10/4
+	)
+	proj := d.Exists(f, srcVars)
+	want := d.FromPrefix(8, 0x10, 4, 8)
+	if proj != want {
+		t.Fatal("projection must drop the src constraint")
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	const nvars = 6
+	d := New(nvars)
+	rng := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 100; trial++ {
+		form := genFormula(rng, 5, nvars)
+		f := form.build(d)
+		assign := map[int]bool{}
+		for v := 0; v < nvars; v++ {
+			if rng.Intn(2) == 0 {
+				assign[v] = rng.Intn(2) == 0
+			}
+		}
+		g := d.Restrict(f, assign)
+		// The restricted function must not depend on assigned variables.
+		for _, v := range d.Support(g) {
+			if _, fixed := assign[v]; fixed {
+				t.Fatalf("trial %d: restricted BDD still depends on x%d", trial, v)
+			}
+		}
+		for a := uint(0); a < 1<<nvars; a++ {
+			aa := a
+			for v, val := range assign {
+				if val {
+					aa |= 1 << uint(v)
+				} else {
+					aa &^= 1 << uint(v)
+				}
+			}
+			got := d.Eval(g, func(i int) bool { return a&(1<<uint(i)) != 0 })
+			if got != form.eval(aa) {
+				t.Fatalf("trial %d: Restrict wrong", trial)
+			}
+		}
+	}
+}
+
+func TestSupport(t *testing.T) {
+	d := New(8)
+	f := d.AndN(d.Var(1), d.NVar(4), d.Var(6))
+	got := d.Support(f)
+	if len(got) != 3 || got[0] != 1 || got[1] != 4 || got[2] != 6 {
+		t.Fatalf("Support = %v", got)
+	}
+	if len(d.Support(True)) != 0 || len(d.Support(False)) != 0 {
+		t.Fatal("terminals have empty support")
+	}
+}
+
+func TestVarSetValidation(t *testing.T) {
+	vs := NewVarSet(5, 1, 3)
+	if vs[0] != 1 || vs[1] != 3 || vs[2] != 5 {
+		t.Fatalf("VarSet not sorted: %v", vs)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate vars must panic")
+		}
+	}()
+	NewVarSet(2, 2)
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	const nvars = 12
+	d := New(nvars)
+	rng := rand.New(rand.NewSource(63))
+	var roots []Ref
+	var forms []*formula
+	for i := 0; i < 10; i++ {
+		form := genFormula(rng, 6, nvars)
+		roots = append(roots, form.build(d))
+		forms = append(forms, form)
+	}
+	var buf bytes.Buffer
+	if err := d.Save(&buf, roots...); err != nil {
+		t.Fatal(err)
+	}
+
+	// Load into a fresh DD.
+	d2 := New(nvars)
+	loaded, err := d2.Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(roots) {
+		t.Fatalf("loaded %d roots, want %d", len(loaded), len(roots))
+	}
+	for i, r := range loaded {
+		for a := uint(0); a < 1<<nvars; a += 37 {
+			got := d2.Eval(r, func(j int) bool { return a&(1<<uint(j)) != 0 })
+			if got != forms[i].eval(a) {
+				t.Fatalf("root %d: loaded function differs at %012b", i, a)
+			}
+		}
+	}
+	if err := d2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Loading into the original DD must give back identical refs
+	// (canonicalization against existing nodes).
+	loaded2, err := d.Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range roots {
+		if loaded2[i] != roots[i] {
+			t.Fatalf("root %d: reload into same DD gave different ref", i)
+		}
+	}
+}
+
+func TestSaveLoadTerminals(t *testing.T) {
+	d := New(4)
+	var buf bytes.Buffer
+	if err := d.Save(&buf, True, False); err != nil {
+		t.Fatal(err)
+	}
+	roots, err := New(4).Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if roots[0] != True || roots[1] != False {
+		t.Fatalf("terminal roots = %v", roots)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	d := New(4)
+	cases := [][]byte{
+		[]byte("XYZ1\x00\x00\x00\x00"),
+		[]byte("BDD1"),
+		{},
+	}
+	for i, c := range cases {
+		if _, err := d.Load(bytes.NewReader(c)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	// Wrong variable count.
+	var buf bytes.Buffer
+	if err := New(8).Save(&buf, True); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Load(&buf); err == nil {
+		t.Fatal("variable-count mismatch must fail")
+	}
+}
+
+func TestDOT(t *testing.T) {
+	d := New(4)
+	f := d.And(d.Var(0), d.Not(d.Var(2)))
+	dot := d.DOT(f, "test")
+	for _, want := range []string{"digraph", "x0", "x2", "style=dashed", "T [shape=box"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package bdd
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// serialization format: a little-endian binary stream
+//
+//	magic "BDD1" | numVars uint32 | numNodes uint32 | numRoots uint32
+//	nodes: (level uint32, low uint32, high uint32) in topological order
+//	roots: uint32 indices into the stream's node numbering
+//
+// Node 0 and 1 are the terminals and are not written. Stream node i
+// (i ≥ 2) may only reference nodes < i.
+
+const magic = "BDD1"
+
+// Save writes the functions rooted at roots to w. The on-disk node
+// numbering is private to the stream; Load rebuilds canonical nodes.
+func (d *DD) Save(w io.Writer, roots ...Ref) error {
+	bw := bufio.NewWriter(w)
+	// Collect reachable nodes in child-before-parent order.
+	index := map[Ref]uint32{False: 0, True: 1}
+	var order []Ref
+	var walk func(Ref)
+	walk = func(f Ref) {
+		if _, ok := index[f]; ok {
+			return
+		}
+		n := d.nodes[f]
+		walk(n.low)
+		walk(n.high)
+		index[f] = uint32(len(order) + 2)
+		order = append(order, f)
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	hdr := []uint32{uint32(d.numVars), uint32(len(order)), uint32(len(roots))}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, f := range order {
+		n := d.nodes[f]
+		rec := []uint32{uint32(n.level), index[n.low], index[n.high]}
+		for _, v := range rec {
+			if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+	}
+	for _, r := range roots {
+		if err := binary.Write(bw, binary.LittleEndian, index[r]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads functions previously written by Save into d, which must have
+// the same variable count, and returns the roots in stream order. Loaded
+// nodes are canonicalized against d's existing nodes (structural sharing
+// with what is already there).
+func (d *DD) Load(r io.Reader) ([]Ref, error) {
+	br := bufio.NewReader(r)
+	got := make([]byte, 4)
+	if _, err := io.ReadFull(br, got); err != nil {
+		return nil, err
+	}
+	if string(got) != magic {
+		return nil, fmt.Errorf("bdd: bad magic %q", got)
+	}
+	var numVars, numNodes, numRoots uint32
+	for _, p := range []*uint32{&numVars, &numNodes, &numRoots} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, err
+		}
+	}
+	if int(numVars) != d.numVars {
+		return nil, fmt.Errorf("bdd: stream has %d variables, DD has %d", numVars, d.numVars)
+	}
+	refs := make([]Ref, numNodes+2)
+	refs[0], refs[1] = False, True
+	for i := uint32(0); i < numNodes; i++ {
+		var level, lo, hi uint32
+		for _, p := range []*uint32{&level, &lo, &hi} {
+			if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+				return nil, err
+			}
+		}
+		if int(level) >= d.numVars || lo >= i+2 || hi >= i+2 {
+			return nil, fmt.Errorf("bdd: malformed node %d (level %d, children %d/%d)", i, level, lo, hi)
+		}
+		refs[i+2] = d.mk(int32(level), refs[lo], refs[hi])
+	}
+	roots := make([]Ref, numRoots)
+	for i := range roots {
+		var idx uint32
+		if err := binary.Read(br, binary.LittleEndian, &idx); err != nil {
+			return nil, err
+		}
+		if int(idx) >= len(refs) {
+			return nil, fmt.Errorf("bdd: root index %d out of range", idx)
+		}
+		roots[i] = refs[idx]
+	}
+	return roots, nil
+}
+
+// DOT renders the subgraph rooted at f in Graphviz format, with solid
+// edges for the 1-branch and dashed for the 0-branch — handy for
+// documentation and debugging small predicates.
+func (d *DD) DOT(f Ref, name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  F [shape=box,label=\"0\"];\n  T [shape=box,label=\"1\"];\n")
+	nodeID := func(r Ref) string {
+		switch r {
+		case False:
+			return "F"
+		case True:
+			return "T"
+		}
+		return fmt.Sprintf("n%d", r)
+	}
+	seen := map[Ref]bool{}
+	var walk func(Ref)
+	walk = func(f Ref) {
+		if f <= True || seen[f] {
+			return
+		}
+		seen[f] = true
+		n := d.nodes[f]
+		fmt.Fprintf(&b, "  n%d [label=\"x%d\"];\n", f, n.level)
+		fmt.Fprintf(&b, "  n%d -> %s [style=dashed];\n", f, nodeID(n.low))
+		fmt.Fprintf(&b, "  n%d -> %s;\n", f, nodeID(n.high))
+		walk(n.low)
+		walk(n.high)
+	}
+	walk(f)
+	b.WriteString("}\n")
+	return b.String()
+}

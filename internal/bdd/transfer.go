@@ -1,0 +1,28 @@
+package bdd
+
+// Transfer copies the function rooted at f in src into dst, which must have
+// the same variable count, and returns the corresponding Ref in dst.
+// It reads src but never mutates it, so concurrent read-only use of src is
+// safe; dst must be private to the caller. The AP Classifier uses Transfer
+// to rebuild an AP Tree in a fresh DD while the live DD keeps serving
+// queries.
+func Transfer(dst, src *DD, f Ref) Ref {
+	if dst.numVars != src.numVars {
+		panic("bdd: Transfer between DDs with different variable counts")
+	}
+	memo := make(map[Ref]Ref)
+	var walk func(Ref) Ref
+	walk = func(f Ref) Ref {
+		if f <= True {
+			return f
+		}
+		if r, ok := memo[f]; ok {
+			return r
+		}
+		n := src.nodes[f]
+		r := dst.mk(n.level, walk(n.low), walk(n.high))
+		memo[f] = r
+		return r
+	}
+	return walk(f)
+}

@@ -1,0 +1,90 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTransferPreservesFunctions(t *testing.T) {
+	const nvars = 10
+	src := New(nvars)
+	dst := New(nvars)
+	rng := rand.New(rand.NewSource(121))
+	for trial := 0; trial < 100; trial++ {
+		form := genFormula(rng, 6, nvars)
+		f := form.build(src)
+		g := Transfer(dst, src, f)
+		for a := uint(0); a < 1<<nvars; a += 3 {
+			got := dst.Eval(g, func(i int) bool { return a&(1<<uint(i)) != 0 })
+			if got != form.eval(a) {
+				t.Fatalf("trial %d: transferred function differs at %010b", trial, a)
+			}
+		}
+	}
+	if err := dst.CheckInvariants(); err != nil {
+		t.Fatalf("destination DD corrupted: %v", err)
+	}
+}
+
+func TestTransferTerminalsAndIdentity(t *testing.T) {
+	src, dst := New(4), New(4)
+	if Transfer(dst, src, True) != True || Transfer(dst, src, False) != False {
+		t.Fatal("terminals must map to terminals")
+	}
+	// Transferring into the same DD returns the identical ref.
+	f := src.And(src.Var(0), src.Var(2))
+	if Transfer(src, src, f) != f {
+		t.Fatal("self-transfer must be the identity")
+	}
+}
+
+func TestTransferCanonicalizesAgainstExisting(t *testing.T) {
+	src, dst := New(8), New(8)
+	// Build the same function independently in dst first.
+	existing := dst.And(dst.Var(1), dst.Var(3))
+	f := src.And(src.Var(1), src.Var(3))
+	if got := Transfer(dst, src, f); got != existing {
+		t.Fatalf("transfer must share structure: got %d, existing %d", got, existing)
+	}
+}
+
+func TestTransferSharedSubgraphs(t *testing.T) {
+	src, dst := New(8), New(8)
+	shared := src.Xor(src.Var(4), src.Var(5))
+	a := src.And(src.Var(0), shared)
+	b := src.Or(src.Var(1), shared)
+	ta := Transfer(dst, src, a)
+	tb := Transfer(dst, src, b)
+	// Functional checks.
+	for probe := 0; probe < 256; probe++ {
+		bit := func(i int) bool { return probe&(1<<uint(i)) != 0 }
+		sharedVal := bit(4) != bit(5)
+		if dst.Eval(ta, bit) != (bit(0) && sharedVal) {
+			t.Fatal("ta wrong")
+		}
+		if dst.Eval(tb, bit) != (bit(1) || sharedVal) {
+			t.Fatal("tb wrong")
+		}
+	}
+}
+
+func TestTransferRejectsMismatchedWidths(t *testing.T) {
+	src, dst := New(8), New(9)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("width mismatch must panic")
+		}
+	}()
+	Transfer(dst, src, src.Var(0))
+}
+
+func TestTransferAfterSourceGC(t *testing.T) {
+	src, dst := New(8), New(8)
+	f := src.Retain(src.AndN(src.Var(0), src.Var(1), src.Var(2)))
+	src.OrN(src.Var(3), src.Var(4)) // garbage
+	src.GC()
+	g := Transfer(dst, src, f)
+	if dst.SatCount(g) != 32 { // 3 fixed bits of 8
+		t.Fatalf("SatCount = %v", dst.SatCount(g))
+	}
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"apclassifier/internal/aptree"
+	"apclassifier/internal/bdd"
+	"apclassifier/internal/predicate"
+)
+
+// OptimalityGap goes beyond the paper: it measures how far the OAPT
+// heuristic and Quick-Ordering land from the exact minimum-total-depth
+// tree (equation (1), which the paper deems intractable and never
+// evaluates). Exact search is exponential, so the comparison runs on
+// random subsets of each network's real predicates.
+func (e *Env) OptimalityGap(subsetSize, trials int) *Table {
+	if subsetSize > aptree.MaxOptimalPreds {
+		subsetSize = aptree.MaxOptimalPreds
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Optimality gap (beyond the paper) — %d-predicate subsets, %d trials", subsetSize, trials),
+		Header: []string{"network", "optimal Σdepth", "OAPT Σdepth (gap)", "quick Σdepth (gap)"},
+		Notes: []string{
+			"exact optimum from the O(2^k·k!) recursion of §V-C that the paper dismisses as intractable",
+		},
+	}
+	for _, name := range e.networks() {
+		in := e.treeInput(name)
+		pool := newPredPool(in)
+		rng := rand.New(rand.NewSource(77))
+		var totOpt, totOAPT, totQuick int
+		for trial := 0; trial < trials; trial++ {
+			order := shuffledOrder(len(pool.refs), rng)[:subsetSize]
+			d := bdd.New(pool.d.NumVars())
+			refs := make([]bdd.Ref, subsetSize)
+			ids := make([]int, subsetSize)
+			live := make([]int32, subsetSize)
+			for i, oi := range order {
+				refs[i] = bdd.Transfer(d, pool.d, pool.refs[oi])
+				d.Retain(refs[i])
+				ids[i] = i
+				live[i] = int32(i)
+			}
+			atoms := predicate.ComputeMapped(d, refs, ids, subsetSize)
+			in2 := aptree.Input{D: d, Preds: refs, Live: live, Atoms: atoms}
+			totOpt += aptree.BuildOptimal(in2).SumDepth()
+			totOAPT += aptree.Build(in2, aptree.MethodOAPT).SumDepth()
+			totQuick += aptree.Build(in2, aptree.MethodQuick).SumDepth()
+		}
+		gap := func(v int) string {
+			return fmt.Sprintf("%d (+%.1f%%)", v, 100*(float64(v)/float64(totOpt)-1))
+		}
+		t.AddRow(name, fmt.Sprint(totOpt), gap(totOAPT), gap(totQuick))
+	}
+	return t
+}

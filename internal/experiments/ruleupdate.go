@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"apclassifier"
+	"apclassifier/internal/netgen"
+	"apclassifier/internal/rule"
+)
+
+// RuleUpdateCost goes beyond the paper's Fig 13, which times adding a
+// ready-made predicate: here the unit of work is a data-plane *rule*
+// insertion, including the rule-to-predicate-change conversion of §VI-A
+// (recomputing the affected box's port predicates, tombstoning the changed
+// ones, and splicing the replacements into the live tree).
+func (e *Env) RuleUpdateCost(inserts int) *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Rule-level update cost (beyond the paper) — %d random rule inserts", inserts),
+		Header: []string{"network", "p50 (ms)", "p90 (ms)", "p99 (ms)", "max (ms)"},
+		Notes: []string{
+			"each insert converts the whole box table to predicates and updates the tree; cost grows with per-box rule count",
+		},
+	}
+	for _, name := range e.networks() {
+		_, ds0 := e.network(name)
+		// Fresh classifier: rule updates mutate the dataset.
+		var ds *netgen.Dataset
+		if name == "internet2" {
+			ds = netgen.Internet2Like(netgen.Config{Seed: 2, RuleScale: e.Scale.I2})
+		} else {
+			ds = netgen.StanfordLike(netgen.Config{Seed: 2, RuleScale: e.Scale.SF})
+		}
+		_ = ds0
+		c, err := apclassifier.New(ds, apclassifier.Options{})
+		if err != nil {
+			panic(err)
+		}
+		rng := rand.New(rand.NewSource(31))
+		var lat []time.Duration
+		for i := 0; i < inserts; i++ {
+			box := rng.Intn(len(ds.Boxes))
+			spec := &ds.Boxes[box]
+			// A new more-specific of an existing prefix toward a random
+			// existing port — a realistic FIB churn event.
+			parent := spec.Fwd.Rules[rng.Intn(len(spec.Fwd.Rules))]
+			for parent.Prefix.Length >= 32 {
+				parent = spec.Fwd.Rules[rng.Intn(len(spec.Fwd.Rules))]
+			}
+			length := parent.Prefix.Length + 1 + rng.Intn(32-parent.Prefix.Length)
+			newRule := rule.FwdRule{
+				Prefix: rule.P(parent.Prefix.Value|rng.Uint32()&^uint32(0xFFFFFFFF<<uint(32-parent.Prefix.Length)), length),
+				Port:   parent.Port,
+			}
+			start := time.Now()
+			c.AddFwdRule(box, newRule)
+			lat = append(lat, time.Since(start))
+		}
+		s := sortedDurations(lat)
+		t.AddRow(name,
+			fmt.Sprintf("%.2f", percentile(s, 0.50)*1e3),
+			fmt.Sprintf("%.2f", percentile(s, 0.90)*1e3),
+			fmt.Sprintf("%.2f", percentile(s, 0.99)*1e3),
+			fmt.Sprintf("%.2f", percentile(s, 1.0)*1e3))
+	}
+	return t
+}

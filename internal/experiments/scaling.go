@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"apclassifier"
+	"apclassifier/internal/netgen"
+)
+
+// Scaling goes beyond the paper: it sweeps the rule volume and reports how
+// predicate count, atom count, tree depth, construction time, memory, and
+// query throughput respond. The paper's key scalability claim — query cost
+// tracks the number of predicates, not the number of rules — shows up here
+// as a flat depth/throughput row while rules grow by an order of
+// magnitude.
+func (e *Env) Scaling(scales []float64, traceLen int, minDur time.Duration) *Table {
+	t := &Table{
+		Title:  "Scaling sweep (beyond the paper) — Internet2-like generator",
+		Header: []string{"rule scale", "rules", "preds", "atoms", "avg depth", "build", "mem (MB)", "throughput (Mqps)"},
+		Notes: []string{
+			"expected shape: rules grow ~linearly with scale; predicates saturate at the port budget; depth and throughput stay near-flat",
+		},
+	}
+	for _, s := range scales {
+		ds := netgen.Internet2Like(netgen.Config{Seed: 1, RuleScale: s})
+		start := time.Now()
+		c, err := apclassifier.New(ds, apclassifier.Options{})
+		if err != nil {
+			panic(err)
+		}
+		build := time.Since(start)
+		rng := rand.New(rand.NewSource(int64(s * 1000)))
+		in := c.TreeInput()
+		trace := uniformTrace(in, ds.Layout.Bytes(), traceLen, rng)
+		tree := c.Manager.Tree()
+		q := measureQPS(func(p []byte) { tree.Classify(p) }, trace, minDur)
+		t.AddRow(
+			fmt.Sprintf("%.2f", s),
+			fmt.Sprint(ds.NumRules()),
+			fmt.Sprint(c.NumPredicates()),
+			fmt.Sprint(c.NumAtoms()),
+			fmt.Sprintf("%.1f", c.AverageDepth()),
+			build.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.1f", float64(c.MemBytes())/1e6),
+			mqps(q),
+		)
+	}
+	return t
+}

@@ -1,0 +1,49 @@
+package hsa
+
+import (
+	"math/rand"
+	"testing"
+
+	"apclassifier/internal/netgen"
+)
+
+func BenchmarkExprIntersect(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	exprs := make([]Expr, 64)
+	for i := range exprs {
+		s := make([]byte, 32)
+		for j := range s {
+			s[j] = "01*"[rng.Intn(3)]
+		}
+		exprs[i] = ParseExpr(string(s))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exprs[i%64].Intersect(exprs[(i*7+1)%64])
+	}
+}
+
+func BenchmarkReachConcrete(b *testing.B) {
+	ds := netgen.Internet2Like(netgen.Config{Seed: 1, RuleScale: 0.02})
+	n := Compile(ds)
+	rng := rand.New(rand.NewSource(2))
+	pkts := make([][]byte, 256)
+	ings := make([]int, 256)
+	for i := range pkts {
+		pkts[i] = ds.PacketFromFields(ds.RandomFields(rng))
+		ings[i] = rng.Intn(len(ds.Boxes))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Reach(ings[i%256], pkts[i%256])
+	}
+}
+
+func BenchmarkReachAllFullSpace(b *testing.B) {
+	ds := netgen.Internet2Like(netgen.Config{Seed: 1, RuleScale: 0.005})
+	n := Compile(ds)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.ReachAll(0, []Expr{All(ds.Layout.Bits())})
+	}
+}

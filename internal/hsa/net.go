@@ -1,0 +1,252 @@
+package hsa
+
+import (
+	"sort"
+
+	"apclassifier/internal/header"
+	"apclassifier/internal/netgen"
+	"apclassifier/internal/rule"
+)
+
+// TRule is one transfer-function rule: a ternary match and an action.
+// Rules apply in slice order (priority), like Hassel's transfer functions.
+type TRule struct {
+	Match Expr
+	Port  int  // output port; ignored when Deny
+	Deny  bool // drop matching packets (ACL deny or FIB drop rule)
+}
+
+// Filter is an ordered permit/deny rule list (an ACL in header space).
+type Filter struct {
+	Rules         []TRule // Deny=false means permit here
+	DefaultPermit bool
+}
+
+// HBox is a box compiled to header-space form.
+type HBox struct {
+	Name    string
+	TF      []TRule         // forwarding transfer function, priority-ordered
+	InACL   *Filter         // optional ingress filter
+	PortACL map[int]*Filter // optional egress filters
+	Peer    map[int]netgen.Host
+}
+
+// Net is a dataset compiled for header-space reachability analysis.
+type Net struct {
+	Layout *header.Layout
+	Boxes  []HBox
+}
+
+// Compile converts a dataset's rule tables into header-space transfer
+// functions: each forwarding rule's prefix becomes a ternary match over
+// the dstIP field (priority = descending prefix length), and each ACL rule
+// becomes one or more ternary matches (port ranges expand into aligned
+// prefixes, the standard TCAM expansion).
+func Compile(ds *netgen.Dataset) *Net {
+	n := &Net{Layout: ds.Layout}
+	dst := ds.Layout.MustField("dstIP")
+	peerOf := map[[2]int]netgen.Host{}
+	for _, l := range ds.Links {
+		peerOf[[2]int{l.A, l.PA}] = netgen.Host{Box: l.B, Port: l.PB}
+		peerOf[[2]int{l.B, l.PB}] = netgen.Host{Box: l.A, Port: l.PA}
+	}
+	for _, h := range ds.Hosts {
+		peerOf[[2]int{h.Box, h.Port}] = h
+	}
+	for bi := range ds.Boxes {
+		spec := &ds.Boxes[bi]
+		hb := HBox{Name: spec.Name, PortACL: map[int]*Filter{}, Peer: map[int]netgen.Host{}}
+		// FIB → priority-ordered ternary rules.
+		idx := spec.Fwd.ByDescendingLength()
+		for _, ri := range idx {
+			r := spec.Fwd.Rules[ri]
+			e := All(ds.Layout.Bits())
+			e.SetField(dst.Offset, dst.Width, uint64(r.Prefix.Value), r.Prefix.Length)
+			hb.TF = append(hb.TF, TRule{Match: e, Port: r.Port, Deny: r.Port == rule.Drop})
+		}
+		if spec.InACL != nil {
+			hb.InACL = compileACL(ds.Layout, spec.InACL)
+		}
+		for pi, acl := range spec.PortACL {
+			hb.PortACL[pi] = compileACL(ds.Layout, acl)
+		}
+		for pi := 0; pi < spec.NumPorts; pi++ {
+			if p, ok := peerOf[[2]int{bi, pi}]; ok {
+				hb.Peer[pi] = p
+			}
+		}
+		n.Boxes = append(n.Boxes, hb)
+	}
+	return n
+}
+
+// compileACL expands a 5-tuple ACL into ternary rules.
+func compileACL(layout *header.Layout, acl *rule.ACL) *Filter {
+	f := &Filter{DefaultPermit: acl.Default == rule.Permit}
+	for _, r := range acl.Rules {
+		for _, e := range matchExprs(layout, r.Match) {
+			f.Rules = append(f.Rules, TRule{Match: e, Deny: r.Action == rule.Deny})
+		}
+	}
+	return f
+}
+
+// matchExprs expands a Match5 into ternary expressions (cross product of
+// the port-range prefix expansions).
+func matchExprs(layout *header.Layout, m rule.Match5) []Expr {
+	base := All(layout.Bits())
+	setPrefix := func(field string, p rule.Prefix) {
+		if p.Length == 0 {
+			return
+		}
+		f := layout.MustField(field)
+		base.SetField(f.Offset, f.Width, uint64(p.Value), p.Length)
+	}
+	setPrefix("srcIP", m.Src)
+	setPrefix("dstIP", m.Dst)
+	if m.Proto != rule.AnyProto {
+		if f, ok := layout.FieldByName("proto"); ok {
+			base.SetField(f.Offset, f.Width, uint64(m.Proto), f.Width)
+		}
+	}
+	exprs := []Expr{base}
+	expand := func(field string, pr rule.PortRange) {
+		if pr == rule.AnyPort {
+			return
+		}
+		f, ok := layout.FieldByName(field)
+		if !ok {
+			return
+		}
+		var next []Expr
+		for _, pfx := range rangePrefixes(uint64(pr.Lo), uint64(pr.Hi), f.Width) {
+			for _, e := range exprs {
+				c := cloneExpr(e)
+				c.SetField(f.Offset, f.Width, pfx.value, pfx.length)
+				next = append(next, c)
+			}
+		}
+		exprs = next
+	}
+	expand("srcPort", m.SrcPort)
+	expand("dstPort", m.DstPort)
+	return exprs
+}
+
+type prefixPart struct {
+	value  uint64
+	length int
+}
+
+// rangePrefixes decomposes [lo,hi] into maximal aligned prefixes.
+func rangePrefixes(lo, hi uint64, width int) []prefixPart {
+	var out []prefixPart
+	maxv := uint64(1)<<uint(width) - 1
+	for lo <= hi {
+		size := uint64(1)
+		for lo+size*2-1 <= hi && lo&(size*2-1) == 0 {
+			size *= 2
+		}
+		nbits := 0
+		for s := size; s > 1; s >>= 1 {
+			nbits++
+		}
+		out = append(out, prefixPart{value: lo, length: width - nbits})
+		if lo+size-1 >= maxv {
+			break
+		}
+		lo += size
+	}
+	return out
+}
+
+// Result is the outcome of a reachability query.
+type Result struct {
+	Delivered []string
+	DropBoxes []int
+	Looped    bool
+	// RuleChecks counts ternary intersections performed — the work metric
+	// that explains why HSA is orders of magnitude slower per query.
+	RuleChecks int
+}
+
+// Reach computes where a concrete packet entering at ingress goes, by
+// propagating its header-space expression through transfer functions.
+func (n *Net) Reach(ingress int, pkt []byte) Result {
+	var res Result
+	start := FromPacket(pkt, n.Layout.Bits())
+	type head struct {
+		box int
+		hs  Expr
+	}
+	visited := make(map[int]bool)
+	queue := []head{{ingress, start}}
+	for len(queue) > 0 {
+		h := queue[0]
+		queue = queue[1:]
+		if visited[h.box] {
+			res.Looped = true
+			continue
+		}
+		visited[h.box] = true
+		hb := &n.Boxes[h.box]
+
+		hs := h.hs
+		if hb.InACL != nil {
+			var pass bool
+			hs, pass, res.RuleChecks = applyFilter(hb.InACL, hs, res.RuleChecks)
+			if !pass {
+				res.DropBoxes = append(res.DropBoxes, h.box)
+				continue
+			}
+		}
+
+		// Transfer function: first matching rule wins for a concrete
+		// packet, but every rule above it costs an intersection — the
+		// Hassel cost model.
+		out := -1
+		deny := false
+		for i := range hb.TF {
+			res.RuleChecks++
+			if _, ok := hs.Intersect(hb.TF[i].Match); ok {
+				out, deny = hb.TF[i].Port, hb.TF[i].Deny
+				break
+			}
+		}
+		if out < 0 && !deny || deny {
+			res.DropBoxes = append(res.DropBoxes, h.box)
+			continue
+		}
+		if f := hb.PortACL[out]; f != nil {
+			var pass bool
+			hs, pass, res.RuleChecks = applyFilter(f, hs, res.RuleChecks)
+			if !pass {
+				res.DropBoxes = append(res.DropBoxes, h.box)
+				continue
+			}
+		}
+		peer, ok := hb.Peer[out]
+		if !ok {
+			res.DropBoxes = append(res.DropBoxes, h.box)
+			continue
+		}
+		if peer.Name != "" {
+			res.Delivered = append(res.Delivered, peer.Name)
+			continue
+		}
+		queue = append(queue, head{peer.Box, hs})
+	}
+	sort.Strings(res.Delivered)
+	return res
+}
+
+// applyFilter runs a concrete header-space through an ACL filter.
+func applyFilter(f *Filter, hs Expr, checks int) (Expr, bool, int) {
+	for i := range f.Rules {
+		checks++
+		if _, ok := hs.Intersect(f.Rules[i].Match); ok {
+			return hs, !f.Rules[i].Deny, checks
+		}
+	}
+	return hs, f.DefaultPermit, checks
+}

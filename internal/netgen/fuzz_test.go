@@ -1,0 +1,45 @@
+package netgen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead ensures the dataset parser never panics on arbitrary input, and
+// that anything it accepts survives a Write/Read round trip with identical
+// structure.
+func FuzzRead(f *testing.F) {
+	f.Add("dataset toy ipv4dst\nbox a 2\nhost a 0 h1\nrule a 10.0.0.0/8 0\n")
+	f.Add("box a 1\nacl a 0 permit\ndeny src 0.0.0.0/0 dst 10.0.0.0/8 sport 0-65535 dport 80-80 proto 6\nend\n")
+	f.Add("# only a comment\n")
+	f.Add("box a 1\nbox b 1\nlink a 0 b 0\n")
+	f.Add("dataset x fivetuple\nbox q 300\nrule q 1.2.3.4/32 299\n")
+	var small bytes.Buffer
+	if err := Internet2Like(Config{Seed: 1, RuleScale: 0.003}).Write(&small); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(small.String())
+
+	f.Fuzz(func(t *testing.T, text string) {
+		ds, err := Read(strings.NewReader(text))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if err := ds.Validate(); err != nil {
+			return // parseable but structurally invalid (e.g. host/link clash)
+		}
+		var buf bytes.Buffer
+		if err := ds.Write(&buf); err != nil {
+			t.Fatalf("Write failed on accepted dataset: %v", err)
+		}
+		ds2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if ds2.NumRules() != ds.NumRules() || ds2.NumACLRules() != ds.NumACLRules() ||
+			len(ds2.Boxes) != len(ds.Boxes) || len(ds2.Links) != len(ds.Links) || len(ds2.Hosts) != len(ds.Hosts) {
+			t.Fatal("round trip changed the dataset")
+		}
+	})
+}

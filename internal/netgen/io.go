@@ -1,0 +1,321 @@
+package netgen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"apclassifier/internal/header"
+	"apclassifier/internal/rule"
+)
+
+// The dataset text format is a line-oriented snapshot of data-plane state,
+// so real configurations can be fed to the classifier without recompiling:
+//
+//	# comment
+//	dataset <name> <layout>            # layout: ipv4dst | fivetuple
+//	box <name> <numPorts>
+//	rule <box> <prefix> <port|drop>    # forwarding rule, e.g. 10.0.0.0/8 3
+//	link <boxA> <portA> <boxB> <portB>
+//	host <box> <port> <name>
+//	acl <box> <port|in> <default>      # begins an ACL; default: permit|deny
+//	  <permit|deny> src <prefix> dst <prefix> sport <lo>-<hi> dport <lo>-<hi> proto <n|any>
+//	end
+//
+// Box names are declared before use; ACL rule lines run until "end".
+
+// Write serializes the dataset in the text format.
+func (ds *Dataset) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	layout := "ipv4dst"
+	if ds.Layout == header.FiveTuple {
+		layout = "fivetuple"
+	}
+	name := ds.Name
+	if name == "" || strings.ContainsAny(name, " \t") {
+		name = "unnamed"
+	}
+	fmt.Fprintf(bw, "dataset %s %s\n", name, layout)
+	for i := range ds.Boxes {
+		fmt.Fprintf(bw, "box %s %d\n", ds.Boxes[i].Name, ds.Boxes[i].NumPorts)
+	}
+	for _, l := range ds.Links {
+		fmt.Fprintf(bw, "link %s %d %s %d\n", ds.Boxes[l.A].Name, l.PA, ds.Boxes[l.B].Name, l.PB)
+	}
+	for _, h := range ds.Hosts {
+		fmt.Fprintf(bw, "host %s %d %s\n", ds.Boxes[h.Box].Name, h.Port, h.Name)
+	}
+	for i := range ds.Boxes {
+		b := &ds.Boxes[i]
+		for _, r := range b.Fwd.Rules {
+			port := strconv.Itoa(r.Port)
+			if r.Port == rule.Drop {
+				port = "drop"
+			}
+			fmt.Fprintf(bw, "rule %s %s %s\n", b.Name, r.Prefix, port)
+		}
+	}
+	for i := range ds.Boxes {
+		b := &ds.Boxes[i]
+		if b.InACL != nil {
+			writeACL(bw, b.Name, "in", b.InACL)
+		}
+		for port, acl := range b.PortACL {
+			writeACL(bw, b.Name, strconv.Itoa(port), acl)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeACL(w io.Writer, box, port string, acl *rule.ACL) {
+	def := "permit"
+	if acl.Default == rule.Deny {
+		def = "deny"
+	}
+	fmt.Fprintf(w, "acl %s %s %s\n", box, port, def)
+	for _, r := range acl.Rules {
+		action := "permit"
+		if r.Action == rule.Deny {
+			action = "deny"
+		}
+		proto := "any"
+		if r.Match.Proto != rule.AnyProto {
+			proto = strconv.Itoa(r.Match.Proto)
+		}
+		fmt.Fprintf(w, "%s src %s dst %s sport %d-%d dport %d-%d proto %s\n",
+			action, r.Match.Src, r.Match.Dst,
+			r.Match.SrcPort.Lo, r.Match.SrcPort.Hi,
+			r.Match.DstPort.Lo, r.Match.DstPort.Hi, proto)
+	}
+	fmt.Fprintln(w, "end")
+}
+
+// Read parses a dataset in the text format.
+func Read(r io.Reader) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	ds := &Dataset{Layout: header.IPv4Dst}
+	boxByName := map[string]int{}
+	lineNo := 0
+	var curACL *rule.ACL
+	fail := func(format string, args ...interface{}) (*Dataset, error) {
+		return nil, fmt.Errorf("line %d: %s", lineNo, fmt.Sprintf(format, args...))
+	}
+	boxID := func(name string) (int, bool) {
+		id, ok := boxByName[name]
+		return id, ok
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		if curACL != nil {
+			if f[0] == "end" {
+				curACL = nil
+				continue
+			}
+			r, err := parseACLRule(f)
+			if err != nil {
+				return fail("%v", err)
+			}
+			curACL.Rules = append(curACL.Rules, r)
+			continue
+		}
+		switch f[0] {
+		case "dataset":
+			if len(f) != 3 {
+				return fail("dataset needs name and layout")
+			}
+			ds.Name = f[1]
+			switch f[2] {
+			case "ipv4dst":
+				ds.Layout = header.IPv4Dst
+			case "fivetuple":
+				ds.Layout = header.FiveTuple
+			default:
+				return fail("unknown layout %q", f[2])
+			}
+		case "box":
+			if len(f) != 3 {
+				return fail("box needs name and port count")
+			}
+			n, err := strconv.Atoi(f[2])
+			if err != nil || n < 0 {
+				return fail("bad port count %q", f[2])
+			}
+			if _, dup := boxByName[f[1]]; dup {
+				return fail("duplicate box %q", f[1])
+			}
+			boxByName[f[1]] = len(ds.Boxes)
+			ds.Boxes = append(ds.Boxes, BoxSpec{Name: f[1], NumPorts: n, PortACL: map[int]*rule.ACL{}})
+		case "rule":
+			if len(f) != 4 {
+				return fail("rule needs box, prefix, port")
+			}
+			b, ok := boxID(f[1])
+			if !ok {
+				return fail("unknown box %q", f[1])
+			}
+			p, err := ParsePrefix(f[2])
+			if err != nil {
+				return fail("%v", err)
+			}
+			port := rule.Drop
+			if f[3] != "drop" {
+				port, err = strconv.Atoi(f[3])
+				if err != nil || port < 0 || port >= ds.Boxes[b].NumPorts {
+					return fail("bad port %q", f[3])
+				}
+			}
+			ds.Boxes[b].Fwd.Add(rule.FwdRule{Prefix: p, Port: port})
+		case "link":
+			if len(f) != 5 {
+				return fail("link needs boxA portA boxB portB")
+			}
+			a, ok1 := boxID(f[1])
+			b, ok2 := boxID(f[3])
+			if !ok1 || !ok2 {
+				return fail("unknown box in link")
+			}
+			pa, e1 := strconv.Atoi(f[2])
+			pb, e2 := strconv.Atoi(f[4])
+			if e1 != nil || e2 != nil || pa < 0 || pa >= ds.Boxes[a].NumPorts || pb < 0 || pb >= ds.Boxes[b].NumPorts {
+				return fail("bad link ports")
+			}
+			ds.Links = append(ds.Links, Link{a, pa, b, pb})
+		case "host":
+			if len(f) != 4 {
+				return fail("host needs box, port, name")
+			}
+			b, ok := boxID(f[1])
+			if !ok {
+				return fail("unknown box %q", f[1])
+			}
+			p, err := strconv.Atoi(f[2])
+			if err != nil || p < 0 || p >= ds.Boxes[b].NumPorts {
+				return fail("bad host port %q", f[2])
+			}
+			ds.Hosts = append(ds.Hosts, Host{Box: b, Port: p, Name: f[3]})
+		case "acl":
+			if len(f) != 4 {
+				return fail("acl needs box, port|in, default")
+			}
+			b, ok := boxID(f[1])
+			if !ok {
+				return fail("unknown box %q", f[1])
+			}
+			def := rule.Permit
+			switch f[3] {
+			case "permit":
+			case "deny":
+				def = rule.Deny
+			default:
+				return fail("bad default %q", f[3])
+			}
+			curACL = &rule.ACL{Default: def}
+			if f[2] == "in" {
+				ds.Boxes[b].InACL = curACL
+			} else {
+				p, err := strconv.Atoi(f[2])
+				if err != nil || p < 0 || p >= ds.Boxes[b].NumPorts {
+					return fail("bad acl port %q", f[2])
+				}
+				ds.Boxes[b].PortACL[p] = curACL
+			}
+		default:
+			return fail("unknown directive %q", f[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if curACL != nil {
+		return nil, fmt.Errorf("unterminated acl block")
+	}
+	return ds, nil
+}
+
+// parseACLRule parses "permit|deny src P dst P sport a-b dport a-b proto n".
+func parseACLRule(f []string) (rule.ACLRule, error) {
+	var r rule.ACLRule
+	if len(f) != 11 {
+		return r, fmt.Errorf("acl rule needs 11 fields, got %d", len(f))
+	}
+	switch f[0] {
+	case "permit":
+		r.Action = rule.Permit
+	case "deny":
+		r.Action = rule.Deny
+	default:
+		return r, fmt.Errorf("bad action %q", f[0])
+	}
+	if f[1] != "src" || f[3] != "dst" || f[5] != "sport" || f[7] != "dport" || f[9] != "proto" {
+		return r, fmt.Errorf("malformed acl rule")
+	}
+	var err error
+	if r.Match.Src, err = ParsePrefix(f[2]); err != nil {
+		return r, err
+	}
+	if r.Match.Dst, err = ParsePrefix(f[4]); err != nil {
+		return r, err
+	}
+	if r.Match.SrcPort, err = parseRange(f[6]); err != nil {
+		return r, err
+	}
+	if r.Match.DstPort, err = parseRange(f[8]); err != nil {
+		return r, err
+	}
+	if f[10] == "any" {
+		r.Match.Proto = rule.AnyProto
+	} else {
+		p, err := strconv.Atoi(f[10])
+		if err != nil || p < 0 || p > 255 {
+			return r, fmt.Errorf("bad proto %q", f[10])
+		}
+		r.Match.Proto = p
+	}
+	return r, nil
+}
+
+func parseRange(s string) (rule.PortRange, error) {
+	parts := strings.SplitN(s, "-", 2)
+	if len(parts) != 2 {
+		return rule.PortRange{}, fmt.Errorf("bad port range %q", s)
+	}
+	lo, e1 := strconv.Atoi(parts[0])
+	hi, e2 := strconv.Atoi(parts[1])
+	if e1 != nil || e2 != nil || lo < 0 || hi > 65535 || lo > hi {
+		return rule.PortRange{}, fmt.Errorf("bad port range %q", s)
+	}
+	return rule.PortRange{Lo: uint16(lo), Hi: uint16(hi)}, nil
+}
+
+// ParsePrefix parses dotted-quad CIDR, e.g. "10.0.0.0/8".
+func ParsePrefix(s string) (rule.Prefix, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return rule.Prefix{}, fmt.Errorf("prefix %q missing /length", s)
+	}
+	length, err := strconv.Atoi(s[slash+1:])
+	if err != nil || length < 0 || length > 32 {
+		return rule.Prefix{}, fmt.Errorf("bad prefix length in %q", s)
+	}
+	octets := strings.Split(s[:slash], ".")
+	if len(octets) != 4 {
+		return rule.Prefix{}, fmt.Errorf("bad address in %q", s)
+	}
+	var v uint32
+	for _, o := range octets {
+		n, err := strconv.Atoi(o)
+		if err != nil || n < 0 || n > 255 {
+			return rule.Prefix{}, fmt.Errorf("bad octet %q in %q", o, s)
+		}
+		v = v<<8 | uint32(n)
+	}
+	return rule.P(v, length), nil
+}

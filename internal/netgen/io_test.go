@@ -1,0 +1,159 @@
+package netgen
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"apclassifier/internal/rule"
+)
+
+func TestDatasetRoundTrip(t *testing.T) {
+	for _, gen := range []func() *Dataset{
+		func() *Dataset { return Internet2Like(Config{Seed: 7, RuleScale: 0.01}) },
+		func() *Dataset { return StanfordLike(Config{Seed: 7, RuleScale: 0.003}) },
+	} {
+		orig := gen()
+		var buf bytes.Buffer
+		if err := orig.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		parsed, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parsed.Name != orig.Name || parsed.Layout.Bits() != orig.Layout.Bits() {
+			t.Fatalf("header mismatch: %q/%d vs %q/%d",
+				parsed.Name, parsed.Layout.Bits(), orig.Name, orig.Layout.Bits())
+		}
+		if parsed.NumRules() != orig.NumRules() || parsed.NumACLRules() != orig.NumACLRules() {
+			t.Fatalf("rule counts differ: %d/%d vs %d/%d",
+				parsed.NumRules(), parsed.NumACLRules(), orig.NumRules(), orig.NumACLRules())
+		}
+		if len(parsed.Links) != len(orig.Links) || len(parsed.Hosts) != len(orig.Hosts) {
+			t.Fatal("topology counts differ")
+		}
+		// Semantics: the parsed dataset must simulate identically.
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 300; i++ {
+			f := orig.RandomFields(rng)
+			ing := rng.Intn(len(orig.Boxes))
+			a := orig.Simulate(ing, f)
+			b := parsed.Simulate(ing, f)
+			if len(a.Delivered) != len(b.Delivered) {
+				t.Fatalf("probe %d: %v vs %v", i, a.Delivered, b.Delivered)
+			}
+			for j := range a.Delivered {
+				if a.Delivered[j] != b.Delivered[j] {
+					t.Fatalf("probe %d: delivery mismatch", i)
+				}
+			}
+			if len(a.DropBoxes) != len(b.DropBoxes) {
+				t.Fatalf("probe %d: drop mismatch", i)
+			}
+		}
+	}
+}
+
+func TestReadMinimalDataset(t *testing.T) {
+	const text = `
+# toy two-box network
+dataset toy ipv4dst
+box a 2
+box b 2
+link a 1 b 1
+host a 0 h1
+host b 0 h2
+rule a 10.0.0.0/8 0
+rule a 192.168.0.0/16 1
+rule b 192.168.0.0/16 0
+rule a 10.9.0.0/16 drop
+`
+	ds, err := Read(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Boxes) != 2 || ds.NumRules() != 4 {
+		t.Fatalf("parsed %d boxes, %d rules", len(ds.Boxes), ds.NumRules())
+	}
+	res := ds.Simulate(0, rule.Fields{Dst: 0x0A010101})
+	if len(res.Delivered) != 1 || res.Delivered[0] != "h1" {
+		t.Fatalf("10.1.1.1 should reach h1: %+v", res)
+	}
+	res = ds.Simulate(0, rule.Fields{Dst: 0xC0A80101})
+	if len(res.Delivered) != 1 || res.Delivered[0] != "h2" {
+		t.Fatalf("192.168.1.1 should reach h2 via b: %+v", res)
+	}
+	res = ds.Simulate(0, rule.Fields{Dst: 0x0A090001})
+	if len(res.Delivered) != 0 {
+		t.Fatalf("10.9.0.1 must hit the drop rule: %+v", res)
+	}
+}
+
+func TestReadACLBlock(t *testing.T) {
+	const text = `
+dataset toy fivetuple
+box a 1
+host a 0 h1
+rule a 0.0.0.0/0 0
+acl a 0 permit
+deny src 0.0.0.0/0 dst 10.0.0.0/8 sport 0-65535 dport 80-80 proto 6
+end
+`
+	ds, err := Read(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumACLs() != 1 || ds.NumACLRules() != 1 {
+		t.Fatalf("ACLs %d rules %d", ds.NumACLs(), ds.NumACLRules())
+	}
+	blocked := rule.Fields{Dst: 0x0A000001, DstPort: 80, Proto: 6}
+	if res := ds.Simulate(0, blocked); len(res.Delivered) != 0 {
+		t.Fatal("ACL must block TCP/80 to 10/8")
+	}
+	allowed := rule.Fields{Dst: 0x0A000001, DstPort: 443, Proto: 6}
+	if res := ds.Simulate(0, allowed); len(res.Delivered) != 1 {
+		t.Fatal("ACL must pass other ports")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown directive": "frobnicate x\n",
+		"unknown layout":    "dataset x foo\n",
+		"bad box count":     "box a nope\n",
+		"unknown box":       "rule nosuch 10.0.0.0/8 0\n",
+		"bad prefix":        "box a 1\nrule a 10.0.0.8 0\n",
+		"port out of range": "box a 1\nrule a 10.0.0.0/8 5\n",
+		"bad link box":      "box a 1\nlink a 0 b 0\n",
+		"bad acl default":   "box a 1\nacl a 0 maybe\n",
+		"unterminated acl":  "box a 1\nacl a 0 permit\n",
+		"bad acl rule":      "box a 1\nacl a 0 permit\nnonsense\nend\n",
+		"duplicate box":     "box a 1\nbox a 1\n",
+	}
+	for name, text := range cases {
+		if _, err := Read(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestParsePrefix(t *testing.T) {
+	p, err := ParsePrefix("10.20.30.0/24")
+	if err != nil || p != rule.P(0x0A141E00, 24) {
+		t.Fatalf("got %v, %v", p, err)
+	}
+	if _, err := ParsePrefix("10.20.30.0"); err == nil {
+		t.Fatal("missing length must fail")
+	}
+	if _, err := ParsePrefix("300.0.0.0/8"); err == nil {
+		t.Fatal("bad octet must fail")
+	}
+	if _, err := ParsePrefix("10.0.0.0/40"); err == nil {
+		t.Fatal("bad length must fail")
+	}
+	if p, err := ParsePrefix("0.0.0.0/0"); err != nil || p.Length != 0 {
+		t.Fatal("default route must parse")
+	}
+}

@@ -1,0 +1,91 @@
+package netgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"apclassifier/internal/header"
+	"apclassifier/internal/rule"
+)
+
+// TenantPrefix returns tenant t's address block: 10.(t).0.0/16. Tenant
+// identity is carried in the source/destination address, the way cloud
+// fabrics map tenants to VRF subnets.
+func TenantPrefix(t int) rule.Prefix {
+	return rule.P(0x0A000000|uint32(t)<<16, 16)
+}
+
+// MultiTenantLike generates a small leaf-spine cloud fabric with hard
+// tenant isolation — the "VLAN isolation" flow property of §I: a cloud
+// provider guarantees packets in one virtual network cannot travel to
+// another. Two spines, `leaves` leaf switches, `tenants` tenants; each
+// tenant gets one host port on every leaf and owns 10.t.0.0/16. Egress
+// ACLs on host ports permit only intra-tenant sources, so cross-tenant
+// traffic is delivered nowhere.
+//
+// The generator is intentionally small and fully regular: it exists to
+// verify isolation properties exactly (see verify.CanReach), not to model
+// scale.
+func MultiTenantLike(leaves, tenants int, seed int64) *Dataset {
+	if leaves < 1 || tenants < 1 || tenants > 200 {
+		panic("netgen: unreasonable multi-tenant shape")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	_ = rng
+	names := []string{"spine0", "spine1"}
+	for l := 0; l < leaves; l++ {
+		names = append(names, fmt.Sprintf("leaf%02d", l))
+	}
+	t := newTopology("multitenant", header.FiveTuple, 2+leaves, names, rng)
+	// Dual-homed leaves.
+	for l := 0; l < leaves; l++ {
+		t.link(2+l, 0)
+		t.link(2+l, 1)
+	}
+	// One host port per (leaf, tenant).
+	hostPort := make([][]int, leaves) // [leaf][tenant] -> port
+	for l := 0; l < leaves; l++ {
+		hostPort[l] = make([]int, tenants)
+		for tn := 0; tn < tenants; tn++ {
+			p := t.nextPort[2+l]
+			t.nextPort[2+l]++
+			hostPort[l][tn] = p
+			t.ds.Hosts = append(t.ds.Hosts, Host{Box: 2 + l, Port: p, Name: fmt.Sprintf("t%d-leaf%02d", tn, l)})
+		}
+	}
+	t.finish()
+
+	// Routing: tenant t's per-leaf /24 is 10.t.l.0/24 at leaf l. Spines
+	// route each /24 to its leaf; leaves route local /24s to host ports
+	// and everything else up a spine (alternating for variety).
+	for tn := 0; tn < tenants; tn++ {
+		for l := 0; l < leaves; l++ {
+			p24 := rule.P(0x0A000000|uint32(tn)<<16|uint32(l)<<8, 24)
+			for s := 0; s < 2; s++ {
+				t.ds.Boxes[s].Fwd.Add(rule.FwdRule{Prefix: p24, Port: t.linkPort[s][2+l]})
+			}
+			for l2 := 0; l2 < leaves; l2++ {
+				if l2 == l {
+					t.ds.Boxes[2+l2].Fwd.Add(rule.FwdRule{Prefix: p24, Port: hostPort[l2][tn]})
+				} else {
+					spine := (tn + l2) % 2
+					t.ds.Boxes[2+l2].Fwd.Add(rule.FwdRule{Prefix: p24, Port: t.linkPort[2+l2][spine]})
+				}
+			}
+		}
+	}
+
+	// Isolation: the egress ACL on each host port permits only sources in
+	// the port's tenant.
+	for l := 0; l < leaves; l++ {
+		for tn := 0; tn < tenants; tn++ {
+			m := rule.MatchAll()
+			m.Src = TenantPrefix(tn)
+			t.ds.Boxes[2+l].PortACL[hostPort[l][tn]] = &rule.ACL{
+				Rules:   []rule.ACLRule{{Match: m, Action: rule.Permit}},
+				Default: rule.Deny,
+			}
+		}
+	}
+	return t.ds
+}

@@ -1,0 +1,116 @@
+package netgen
+
+import "apclassifier/internal/rule"
+
+// SimResult is the outcome of a reference simulation.
+type SimResult struct {
+	Delivered []string // host names reached
+	DropBoxes []int    // boxes where a branch died
+	Looped    bool
+}
+
+// peers precomputes the far end of every (box, port).
+func (ds *Dataset) peers() map[[2]int]Host {
+	m := map[[2]int]Host{}
+	for _, l := range ds.Links {
+		m[[2]int{l.A, l.PA}] = Host{Box: l.B, Port: l.PB, Name: ""}
+		m[[2]int{l.B, l.PB}] = Host{Box: l.A, Port: l.PA, Name: ""}
+	}
+	for _, h := range ds.Hosts {
+		m[[2]int{h.Box, h.Port}] = h
+	}
+	return m
+}
+
+// Simulate computes a packet's behavior directly from the rule tables,
+// box by box: LPM lookup, first-match ACLs, link following. It is the
+// slow, obviously-correct oracle the predicate/AP-Tree pipeline is tested
+// against. Middleboxes are not part of datasets and are not simulated.
+func (ds *Dataset) Simulate(ingress int, f rule.Fields) SimResult {
+	peers := ds.peers()
+	var res SimResult
+	visited := make(map[int]bool)
+	queue := []int{ingress}
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		if visited[b] {
+			res.Looped = true
+			continue
+		}
+		visited[b] = true
+		box := &ds.Boxes[b]
+		if box.InACL != nil && !box.InACL.Allows(f) {
+			res.DropBoxes = append(res.DropBoxes, b)
+			continue
+		}
+		port, ok := box.Fwd.Lookup(f.Dst)
+		if !ok {
+			res.DropBoxes = append(res.DropBoxes, b)
+			continue
+		}
+		if acl := box.PortACL[port]; acl != nil && !acl.Allows(f) {
+			res.DropBoxes = append(res.DropBoxes, b)
+			continue
+		}
+		peer, ok := peers[[2]int{b, port}]
+		if !ok {
+			res.DropBoxes = append(res.DropBoxes, b) // dangling port
+			continue
+		}
+		if peer.Name != "" {
+			res.Delivered = append(res.Delivered, peer.Name)
+			continue
+		}
+		queue = append(queue, peer.Box)
+	}
+	return res
+}
+
+// RandomFields draws a packet 5-tuple biased toward routed destinations:
+// with probability 3/4 the destination is sampled from an installed
+// prefix, so simulations exercise delivery paths, not just drops.
+func (ds *Dataset) RandomFields(rng interface {
+	Intn(int) int
+	Uint32() uint32
+}) rule.Fields {
+	f := rule.Fields{
+		Src:     rng.Uint32(),
+		Dst:     rng.Uint32(),
+		SrcPort: uint16(rng.Intn(65536)),
+		DstPort: uint16(rng.Intn(65536)),
+		Proto:   []uint8{6, 17, 1, 47}[rng.Intn(4)],
+	}
+	if rng.Intn(4) != 0 && len(ds.Boxes) > 0 {
+		b := &ds.Boxes[rng.Intn(len(ds.Boxes))]
+		if len(b.Fwd.Rules) > 0 {
+			p := b.Fwd.Rules[rng.Intn(len(b.Fwd.Rules))].Prefix
+			f.Dst = p.Value | rng.Uint32()&^prefixMask(p.Length)
+		}
+	}
+	return f
+}
+
+func prefixMask(length int) uint32 {
+	if length == 0 {
+		return 0
+	}
+	return ^uint32(0) << uint(32-length)
+}
+
+// PacketFromFields encodes a 5-tuple into the dataset's layout (fields the
+// layout lacks are dropped, matching what the network can filter on).
+func (ds *Dataset) PacketFromFields(f rule.Fields) []byte {
+	p := ds.Layout.NewPacket()
+	set := func(name string, v uint64) {
+		if _, ok := ds.Layout.FieldByName(name); ok {
+			ds.Layout.Set(p, name, v)
+		}
+	}
+	set("srcIP", uint64(f.Src))
+	set("dstIP", uint64(f.Dst))
+	set("srcPort", uint64(f.SrcPort))
+	set("dstPort", uint64(f.DstPort))
+	set("proto", uint64(f.Proto))
+	return p
+}

@@ -1,0 +1,205 @@
+package netgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"apclassifier/internal/header"
+	"apclassifier/internal/rule"
+)
+
+// stanfordFullRules and stanfordFullACLRules match Table I of the paper.
+const (
+	stanfordFullRules    = 757170
+	stanfordFullACLRules = 1584
+)
+
+// StanfordLike generates a synthetic stand-in for the Stanford backbone
+// dataset: 16 boxes in a two-tier topology (2 backbone routers, 14 zone
+// routers), dense campus-style FIBs over 171.64.0.0/14-like space, and
+// 5-tuple ACLs on zone-router ports. At RuleScale 1.0 the rule volume
+// matches Table I (≈757k forwarding rules, 1,584 ACL rules), and the port
+// budget is tuned so the predicate count (forwarding + ACL) lands near the
+// paper's 507.
+func StanfordLike(cfg Config) *Dataset {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	names := []string{"bbra", "bbrb"}
+	for i := 0; i < 14; i++ {
+		names = append(names, fmt.Sprintf("zone%02d", i))
+	}
+	t := newTopology("stanford-like", header.FiveTuple, 16, names, rng)
+	// Each zone router dual-homes to both backbone routers; the backbones
+	// interconnect. 29 links → 58 link ports.
+	t.link(0, 1)
+	for z := 2; z < 16; z++ {
+		t.link(z, 0)
+		t.link(z, 1)
+	}
+	// 28 edge (subnet) ports per zone router: 58 + 14×28 = 450 ports, so
+	// ~450 forwarding predicates; ACL predicates bring the total near 507.
+	for z := 2; z < 16; z++ {
+		t.addEdgePorts(z, 28)
+	}
+	t.finish()
+
+	prefixes := cfg.scale(stanfordFullRules) / 16
+	multihome, divergent := cfg.diversity(prefixes, 120, 500)
+	owners := t.campusPrefixes(prefixes, divergent)
+	t.populateFIBs(owners, multihome)
+
+	// ACLs: the paper's 1,584 ACL rules spread over egress ACLs on zone
+	// uplink ports and a few ingress ACLs — 57 ACLs of ~28 rules each, so
+	// that total predicates ≈ 450 + 57 = 507. Rules draw their match
+	// terms from a shared vocabulary (campus configs reuse the same
+	// organizational blocks and service ports everywhere); fresh random
+	// terms per rule would explode the atomic-predicate count far beyond
+	// anything real data planes exhibit.
+	aclRules := cfg.scale(stanfordFullACLRules)
+	const numACLs = 57
+	perACL := aclRules / numACLs
+	if perACL < 1 {
+		perACL = 1
+	}
+	vocab := t.newACLVocab(owners)
+	for i := 0; i < numACLs; i++ {
+		z := 2 + i%14
+		switch {
+		case i < 28: // uplink egress ACLs (two uplinks per zone router)
+			t.ds.Boxes[z].PortACL[t.linkPort[z][(i/14)%2]] = t.randomACL(perACL, vocab, i%4 == 0)
+		case i < 42: // edge-port egress ACLs
+			ports := t.edgePorts[z]
+			t.ds.Boxes[z].PortACL[ports[i%len(ports)]] = t.randomACL(perACL, vocab, i%3 == 0)
+		case i < 56:
+			// Zone-router ingress ACLs: block-list style only — an
+			// ingress filter that default-denied would blackhole the
+			// whole box, which real campus configs avoid.
+			t.ds.Boxes[z].InACL = t.randomACL(perACL, vocab, false)
+		default: // the 57th ACL guards the primary backbone router
+			t.ds.Boxes[0].InACL = t.randomACL(perACL, vocab, false)
+		}
+	}
+	return t.ds
+}
+
+// campusPrefixes generates a campus-style prefix pool: disjoint covering
+// subnets (aligned /20–/24 blocks allocated sequentially, so they never
+// overlap by accident) plus a large majority of host routes (/29–/32)
+// inside them. Host routes inherit their subnet's owner — in real campus
+// FIBs host routes exist for accounting and security, not to route
+// differently — so rule volume grows without inflating the atomic-
+// predicate count. Exactly `divergent` host routes are re-homed elsewhere
+// (plus multihoming, applied later), which bounds atom diversity the same
+// way the Internet2 generator does.
+func (t *topology) campusPrefixes(count, divergent int) []prefixOwner {
+	bases := []uint32{0x0A000000, 0xAB400000, 0x80400000, 0xC0A80000}
+	numSubnets := count / 8
+	if numSubnets < 1 {
+		numSubnets = 1
+	}
+	owners := make([]prefixOwner, 0, count)
+	// Sequential /20 slots across the bases keep subnets disjoint.
+	slot := 0
+	maxSlots := len(bases) << 12 // /8 regions sliced into /20 slots
+	for len(owners) < numSubnets && slot < maxSlots {
+		base := bases[slot%len(bases)]
+		addr := base | uint32(slot/len(bases))<<12
+		l := 20 + t.rng.Intn(5) // /20../24 anchored at the slot start
+		b, port := t.randomEdge()
+		owners = append(owners, prefixOwner{rule.P(addr, l), b, port})
+		slot++
+	}
+	subnets := len(owners)
+	// Host routes inside random subnets, inheriting the subnet's owner.
+	used := make(map[rule.Prefix]bool, count)
+	for len(owners) < count {
+		parent := owners[t.rng.Intn(subnets)]
+		l := 29 + t.rng.Intn(4)
+		p := rule.P(parent.prefix.Value|t.rng.Uint32()&^maskFor(parent.prefix.Length), l)
+		if used[p] {
+			continue
+		}
+		used[p] = true
+		owners = append(owners, prefixOwner{p, parent.box, parent.port})
+	}
+	// Re-home a bounded number of host routes (servers living in another
+	// zone than their subnet, VPN'd hosts, and similar oddities).
+	if divergent > count-subnets {
+		divergent = count - subnets
+	}
+	for i := 0; i < divergent; i++ {
+		idx := subnets + t.rng.Intn(count-subnets)
+		owners[idx].box, owners[idx].port = t.randomEdge()
+	}
+	return owners
+}
+
+// aclVocab is the shared pool of match terms all generated ACLs draw from.
+type aclVocab struct {
+	dstAnchors []rule.Prefix // specific routed destinations
+	dstBroad   []rule.Prefix // broad campus blocks
+	srcBlocks  []rule.Prefix // organizational source blocks
+	services   []rule.PortRange
+}
+
+func (t *topology) newACLVocab(owners []prefixOwner) *aclVocab {
+	v := &aclVocab{}
+	for i := 0; i < 24; i++ {
+		v.dstAnchors = append(v.dstAnchors, owners[t.rng.Intn(len(owners))].prefix)
+	}
+	for i := 0; i < 8; i++ {
+		p := owners[t.rng.Intn(len(owners))].prefix
+		l := 14 + t.rng.Intn(5)
+		if l > p.Length {
+			l = p.Length
+		}
+		v.dstBroad = append(v.dstBroad, rule.P(p.Value, l))
+	}
+	for i := 0; i < 10; i++ {
+		v.srcBlocks = append(v.srcBlocks, rule.P(t.rng.Uint32(), 8+8*t.rng.Intn(2)))
+	}
+	// Standard service ports (the usual suspects of campus ACLs).
+	for _, pr := range [][2]uint16{{22, 22}, {23, 23}, {25, 25}, {53, 53}, {80, 80}, {443, 443}, {135, 139}, {0, 1023}} {
+		v.services = append(v.services, rule.R(pr[0], pr[1]))
+	}
+	return v
+}
+
+// randomACL builds a campus-style ACL from the shared vocabulary. Two
+// flavors, like Cisco-style campus configs:
+//
+//   - permit-list ACLs: permit broad campus destination blocks (with a few
+//     targeted denies shadowing them), implicit deny — their permit
+//     predicates cover a mid-sized chunk of the header space;
+//   - block-list ACLs: deny specific prefixes/ports, default permit.
+func (t *topology) randomACL(n int, vocab *aclVocab, permitList bool) *rule.ACL {
+	acl := &rule.ACL{Default: rule.Permit}
+	if permitList {
+		acl.Default = rule.Deny
+	}
+	for i := 0; i < n; i++ {
+		m := rule.MatchAll()
+		action := rule.Deny
+		switch {
+		case permitList && i >= n/3:
+			m.Dst = vocab.dstBroad[t.rng.Intn(len(vocab.dstBroad))]
+			action = rule.Permit
+		default:
+			m.Dst = vocab.dstAnchors[t.rng.Intn(len(vocab.dstAnchors))]
+		}
+		if t.rng.Intn(3) == 0 {
+			m.Src = vocab.srcBlocks[t.rng.Intn(len(vocab.srcBlocks))]
+		}
+		switch t.rng.Intn(4) {
+		case 0:
+			m.Proto = 6 // tcp
+			m.DstPort = vocab.services[t.rng.Intn(len(vocab.services))]
+		case 1:
+			m.Proto = 17 // udp
+		}
+		if !permitList && t.rng.Intn(4) == 0 {
+			action = rule.Permit // targeted exception in a block list
+		}
+		acl.Rules = append(acl.Rules, rule.ACLRule{Match: m, Action: action})
+	}
+	return acl
+}

@@ -1,0 +1,115 @@
+package netgen
+
+import (
+	"fmt"
+
+	"apclassifier/internal/rule"
+)
+
+// Validate checks structural soundness of a dataset: every rule, link,
+// host, and ACL reference must point at an existing box and port, no port
+// may be both linked and host-facing, and ACLs must be representable in
+// the layout (a 5-tuple ACL on a dstIP-only layout cannot be compiled
+// faithfully). The classifier refuses datasets that fail validation.
+func (ds *Dataset) Validate() error {
+	if ds.Layout == nil {
+		return fmt.Errorf("dataset %q: nil layout", ds.Name)
+	}
+	names := map[string]bool{}
+	for i := range ds.Boxes {
+		b := &ds.Boxes[i]
+		if b.Name == "" {
+			return fmt.Errorf("box %d: empty name", i)
+		}
+		if names[b.Name] {
+			return fmt.Errorf("duplicate box name %q", b.Name)
+		}
+		names[b.Name] = true
+		if b.NumPorts < 0 {
+			return fmt.Errorf("box %q: negative port count", b.Name)
+		}
+		for ri, r := range b.Fwd.Rules {
+			if r.Port != rule.Drop && (r.Port < 0 || r.Port >= b.NumPorts) {
+				return fmt.Errorf("box %q rule %d: port %d out of range [0,%d)", b.Name, ri, r.Port, b.NumPorts)
+			}
+			if r.Prefix != rule.P(r.Prefix.Value, r.Prefix.Length) {
+				return fmt.Errorf("box %q rule %d: non-canonical prefix", b.Name, ri)
+			}
+		}
+		for p, acl := range b.PortACL {
+			if p < 0 || p >= b.NumPorts {
+				return fmt.Errorf("box %q: ACL on nonexistent port %d", b.Name, p)
+			}
+			if err := ds.validateACL(acl); err != nil {
+				return fmt.Errorf("box %q port %d: %v", b.Name, p, err)
+			}
+		}
+		if b.InACL != nil {
+			if err := ds.validateACL(b.InACL); err != nil {
+				return fmt.Errorf("box %q ingress ACL: %v", b.Name, err)
+			}
+		}
+	}
+	used := map[[2]int]string{}
+	claim := func(box, port int, what string) error {
+		if box < 0 || box >= len(ds.Boxes) {
+			return fmt.Errorf("%s references box %d of %d", what, box, len(ds.Boxes))
+		}
+		if port < 0 || port >= ds.Boxes[box].NumPorts {
+			return fmt.Errorf("%s references port %d of box %q (%d ports)", what, port, ds.Boxes[box].Name, ds.Boxes[box].NumPorts)
+		}
+		key := [2]int{box, port}
+		if prev, ok := used[key]; ok {
+			return fmt.Errorf("port %d of box %q used by both %s and %s", port, ds.Boxes[box].Name, prev, what)
+		}
+		used[key] = what
+		return nil
+	}
+	for li, l := range ds.Links {
+		what := fmt.Sprintf("link %d", li)
+		if err := claim(l.A, l.PA, what); err != nil {
+			return err
+		}
+		if err := claim(l.B, l.PB, what); err != nil {
+			return err
+		}
+	}
+	hostNames := map[string]bool{}
+	for hi, h := range ds.Hosts {
+		if h.Name == "" {
+			return fmt.Errorf("host %d: empty name", hi)
+		}
+		if hostNames[h.Name] {
+			return fmt.Errorf("duplicate host name %q", h.Name)
+		}
+		hostNames[h.Name] = true
+		if err := claim(h.Box, h.Port, fmt.Sprintf("host %q", h.Name)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateACL rejects ACLs that constrain fields the layout lacks.
+func (ds *Dataset) validateACL(acl *rule.ACL) error {
+	has := func(f string) bool {
+		_, ok := ds.Layout.FieldByName(f)
+		return ok
+	}
+	for i, r := range acl.Rules {
+		m := r.Match
+		if m.Src.Length > 0 && !has("srcIP") {
+			return fmt.Errorf("rule %d constrains srcIP, absent from layout", i)
+		}
+		if m.SrcPort != rule.AnyPort && m.SrcPort != (rule.PortRange{}) && !has("srcPort") {
+			return fmt.Errorf("rule %d constrains srcPort, absent from layout", i)
+		}
+		if m.DstPort != rule.AnyPort && m.DstPort != (rule.PortRange{}) && !has("dstPort") {
+			return fmt.Errorf("rule %d constrains dstPort, absent from layout", i)
+		}
+		if m.Proto != rule.AnyProto && !has("proto") {
+			return fmt.Errorf("rule %d constrains proto, absent from layout", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package netgen
+
+import (
+	"testing"
+
+	"apclassifier/internal/header"
+	"apclassifier/internal/rule"
+)
+
+func validBase() *Dataset {
+	ds := &Dataset{Name: "v", Layout: header.IPv4Dst}
+	ds.Boxes = []BoxSpec{
+		{Name: "a", NumPorts: 2, PortACL: map[int]*rule.ACL{}},
+		{Name: "b", NumPorts: 2, PortACL: map[int]*rule.ACL{}},
+	}
+	ds.Links = []Link{{A: 0, PA: 1, B: 1, PB: 1}}
+	ds.Hosts = []Host{{Box: 0, Port: 0, Name: "h1"}, {Box: 1, Port: 0, Name: "h2"}}
+	ds.Boxes[0].Fwd.Add(rule.FwdRule{Prefix: rule.P(0x0A000000, 8), Port: 0})
+	return ds
+}
+
+func TestValidateAcceptsGeneratedAndHandBuilt(t *testing.T) {
+	for _, ds := range []*Dataset{
+		validBase(),
+		Internet2Like(Config{Seed: 1, RuleScale: 0.005}),
+		StanfordLike(Config{Seed: 1, RuleScale: 0.002}),
+	} {
+		if err := ds.Validate(); err != nil {
+			t.Errorf("%s: %v", ds.Name, err)
+		}
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := map[string]func(*Dataset){
+		"rule port out of range": func(ds *Dataset) {
+			ds.Boxes[0].Fwd.Add(rule.FwdRule{Prefix: rule.P(0, 0), Port: 9})
+		},
+		"negative rule port": func(ds *Dataset) {
+			ds.Boxes[0].Fwd.Add(rule.FwdRule{Prefix: rule.P(0, 0), Port: -2})
+		},
+		"non-canonical prefix": func(ds *Dataset) {
+			ds.Boxes[0].Fwd.Add(rule.FwdRule{Prefix: rule.Prefix{Value: 0x0A0000FF, Length: 8}, Port: 0})
+		},
+		"duplicate box name": func(ds *Dataset) {
+			ds.Boxes[1].Name = "a"
+		},
+		"empty box name": func(ds *Dataset) {
+			ds.Boxes[0].Name = ""
+		},
+		"link to missing box": func(ds *Dataset) {
+			ds.Links = append(ds.Links, Link{A: 0, PA: 0, B: 7, PB: 0})
+		},
+		"link to missing port": func(ds *Dataset) {
+			ds.Links = append(ds.Links, Link{A: 0, PA: 5, B: 1, PB: 0})
+		},
+		"host on linked port": func(ds *Dataset) {
+			ds.Hosts = append(ds.Hosts, Host{Box: 0, Port: 1, Name: "clash"})
+		},
+		"duplicate host name": func(ds *Dataset) {
+			ds.Hosts = append(ds.Hosts, Host{Box: 1, Port: 0, Name: "h1"})
+		},
+		"two hosts one port": func(ds *Dataset) {
+			ds.Hosts = append(ds.Hosts, Host{Box: 0, Port: 0, Name: "h3"})
+		},
+		"ACL on missing port": func(ds *Dataset) {
+			ds.Boxes[0].PortACL[9] = &rule.ACL{Default: rule.Permit}
+		},
+		"5-tuple ACL on dst-only layout": func(ds *Dataset) {
+			acl := &rule.ACL{Default: rule.Permit}
+			acl.Rules = append(acl.Rules, rule.ACLRule{
+				Match:  rule.Match5{Src: rule.P(0x0A000000, 8), SrcPort: rule.AnyPort, DstPort: rule.AnyPort, Proto: rule.AnyProto},
+				Action: rule.Deny,
+			})
+			ds.Boxes[0].PortACL[0] = acl
+		},
+		"proto match on dst-only layout": func(ds *Dataset) {
+			acl := &rule.ACL{Default: rule.Permit}
+			m := rule.MatchAll()
+			m.Proto = 6
+			acl.Rules = append(acl.Rules, rule.ACLRule{Match: m, Action: rule.Deny})
+			ds.Boxes[0].InACL = acl
+		},
+	}
+	for name, corrupt := range cases {
+		ds := validBase()
+		corrupt(ds)
+		if err := ds.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+	}
+}
+
+func TestDstOnlyACLAllowedOnDstLayout(t *testing.T) {
+	ds := validBase()
+	acl := &rule.ACL{Default: rule.Permit}
+	m := rule.MatchAll()
+	m.Dst = rule.P(0x0A000000, 8)
+	acl.Rules = append(acl.Rules, rule.ACLRule{Match: m, Action: rule.Deny})
+	ds.Boxes[0].InACL = acl
+	if err := ds.Validate(); err != nil {
+		t.Fatalf("dst-only ACL must validate on dst-only layout: %v", err)
+	}
+}

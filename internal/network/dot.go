@@ -1,0 +1,77 @@
+package network
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the topology in Graphviz format: boxes as ellipses, hosts as
+// plain boxes, links as undirected edges (drawn once per pair). Useful for
+// documenting generated datasets and debugging behavior traces.
+func (n *Network) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %q {\n  layout=neato;\n", name)
+	for i, box := range n.Boxes {
+		fmt.Fprintf(&b, "  b%d [label=%q];\n", i, box.Name)
+	}
+	seen := map[[2]int]bool{}
+	hostID := 0
+	for i, box := range n.Boxes {
+		for pi := range box.Ports {
+			p := &box.Ports[pi]
+			switch p.Peer.Kind {
+			case DestBox:
+				a, c := i, p.Peer.Box
+				if a > c {
+					a, c = c, a
+				}
+				key := [2]int{a*len(n.Boxes) + c, 0}
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				fmt.Fprintf(&b, "  b%d -- b%d;\n", a, c)
+			case DestHost:
+				fmt.Fprintf(&b, "  h%d [shape=box,label=%q];\n", hostID, p.Peer.Host)
+				fmt.Fprintf(&b, "  b%d -- h%d [style=dotted];\n", i, hostID)
+				hostID++
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// HighlightDOT renders the topology with a behavior's traversed edges
+// emphasized: the forwarding path/tree in bold red, drop boxes shaded.
+func (n *Network) HighlightDOT(name string, beh *Behavior) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	drops := map[int]bool{}
+	for _, d := range beh.Drops {
+		drops[d.Box] = true
+	}
+	for i, box := range n.Boxes {
+		attrs := ""
+		switch {
+		case drops[i]:
+			attrs = ",style=filled,fillcolor=lightcoral"
+		case i == beh.Ingress:
+			attrs = ",style=filled,fillcolor=lightblue"
+		}
+		fmt.Fprintf(&b, "  b%d [label=%q%s];\n", i, box.Name, attrs)
+	}
+	hostID := 0
+	for _, e := range beh.Edges {
+		switch e.To.Kind {
+		case DestBox:
+			fmt.Fprintf(&b, "  b%d -> b%d [color=red,penwidth=2];\n", e.Box, e.To.Box)
+		case DestHost:
+			fmt.Fprintf(&b, "  h%d [shape=box,label=%q];\n", hostID, e.To.Host)
+			fmt.Fprintf(&b, "  b%d -> h%d [color=red,penwidth=2];\n", e.Box, hostID)
+			hostID++
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

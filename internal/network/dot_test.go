@@ -1,0 +1,37 @@
+package network
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDOT(t *testing.T) {
+	n, m, env, _ := fig1Net(t)
+	dot := n.DOT("fig1")
+	for _, want := range []string{"graph \"fig1\"", "b1", "b2", "h1", "h2", "--"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// Each link rendered once: exactly one "b0 -- b1" style edge.
+	if got := strings.Count(dot, "b0 -- b1"); got != 1 {
+		t.Fatalf("link rendered %d times", got)
+	}
+
+	pkt := []byte{0b10000001} // a4: delivered via b2, no drops
+	b := n.Behavior(env, 0, pkt, classify(m, pkt))
+	h := n.HighlightDOT("path", b)
+	for _, want := range []string{"digraph", "lightblue", "color=red", "h2"} {
+		if !strings.Contains(h, want) {
+			t.Fatalf("HighlightDOT missing %q:\n%s", want, h)
+		}
+	}
+
+	// A dropped packet shades the drop box.
+	pktDrop := []byte{0b11100001}
+	bd := n.Behavior(env, 0, pktDrop, classify(m, pktDrop))
+	hd := n.HighlightDOT("drop", bd)
+	if !strings.Contains(hd, "lightcoral") {
+		t.Fatalf("drop box not shaded:\n%s", hd)
+	}
+}

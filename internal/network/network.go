@@ -1,0 +1,377 @@
+// Package network models the topology — boxes, ports, links, hosts — and
+// implements stage 2 of AP Classifier: computing the network-wide behavior
+// of a packet from its atomic predicate (§IV-B).
+//
+// Stage 2 never evaluates a BDD. Every port's forwarding predicate and
+// every ACL is identified by a global predicate ID; the atomic predicate
+// found in stage 1 carries a membership bit per predicate ID, so deciding
+// whether a box forwards the packet to a port is two bit tests. That is why
+// the paper measures stage 2 at 10M+ packets per second and spends all its
+// optimization effort on stage 1.
+package network
+
+import (
+	"fmt"
+	"strings"
+
+	"apclassifier/internal/aptree"
+)
+
+// NoPred marks an absent predicate reference (no ACL on a port, or a port
+// with no forwarding predicate).
+const NoPred int32 = -1
+
+// DestKind tells what a port's far end is.
+type DestKind int
+
+// Port destination kinds.
+const (
+	DestNone DestKind = iota // unconnected port: forwarded packets vanish
+	DestBox                  // inter-box link
+	DestHost                 // attachment to an end host
+)
+
+// Dest is the far end of a port.
+type Dest struct {
+	Kind DestKind
+	Box  int    // valid for DestBox
+	Port int    // ingress port index on the peer box, valid for DestBox
+	Host string // valid for DestHost
+}
+
+// Port is an output port of a box.
+type Port struct {
+	Name string
+	// Fwd is the predicate ID of the port's forwarding predicate: the set
+	// of packets the box's table sends to this port. NoPred means the port
+	// never forwards (e.g. a pure ingress port).
+	Fwd int32
+	// OutACL optionally filters packets leaving through the port.
+	OutACL int32
+	Peer   Dest
+}
+
+// Box is a packet-forwarding device: router, switch, or middlebox host.
+type Box struct {
+	Name  string
+	Ports []Port
+	// InACL optionally filters every packet entering the box.
+	InACL int32
+	// MB, if non-nil, is a header-modifying middlebox traversed by every
+	// packet entering the box before forwarding (§V-E).
+	MB *Middlebox
+}
+
+// Network is a directed graph of boxes.
+type Network struct {
+	Boxes []*Box
+}
+
+// New returns an empty network.
+func New() *Network { return &Network{} }
+
+// AddBox appends a box with the given number of ports and returns its ID.
+func (n *Network) AddBox(name string, numPorts int) int {
+	b := &Box{Name: name, InACL: NoPred}
+	for i := 0; i < numPorts; i++ {
+		b.Ports = append(b.Ports, Port{Name: fmt.Sprintf("%s.%d", name, i), Fwd: NoPred, OutACL: NoPred})
+	}
+	n.Boxes = append(n.Boxes, b)
+	return len(n.Boxes) - 1
+}
+
+// Link connects port pa of box a to port pb of box b, bidirectionally.
+func (n *Network) Link(a, pa, b, pb int) {
+	n.Boxes[a].Ports[pa].Peer = Dest{Kind: DestBox, Box: b, Port: pb}
+	n.Boxes[b].Ports[pb].Peer = Dest{Kind: DestBox, Box: a, Port: pa}
+}
+
+// AttachHost declares that port p of box b faces the named host.
+func (n *Network) AttachHost(b, p int, host string) {
+	n.Boxes[b].Ports[p].Peer = Dest{Kind: DestHost, Host: host}
+}
+
+// BoxByName finds a box ID by name (-1 if absent).
+func (n *Network) BoxByName(name string) int {
+	for i, b := range n.Boxes {
+		if b.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Env provides stage 2 with the classifier state it depends on: atom
+// lookup for header changes and predicate liveness for tombstones.
+type Env struct {
+	// Classify maps a (possibly rewritten) header to its AP Tree leaf and
+	// reports the classifier epoch the result came from.
+	Classify func(pkt []byte) (*aptree.Node, uint64)
+	// Version reports the current classifier epoch; middlebox flow-table
+	// caches are invalidated when it changes. May be nil for static use.
+	Version func() uint64
+	// IsLive reports whether a predicate ID is not tombstoned. Stage 2
+	// ignores deleted predicates per §VI-A.
+	IsLive func(id int32) bool
+	// MaxHops bounds traversal (0 means 4×boxes+16).
+	MaxHops int
+}
+
+// DropReason explains why a traversal branch ended without delivery.
+type DropReason string
+
+// Drop reasons.
+const (
+	DropNoRoute   DropReason = "no matching output port"
+	DropInACL     DropReason = "denied by ingress ACL"
+	DropOutACL    DropReason = "denied by egress ACL"
+	DropDangling  DropReason = "forwarded out an unconnected port"
+	DropLoop      DropReason = "forwarding loop detected"
+	DropHopBudget DropReason = "hop budget exhausted"
+	DropMiddlebox DropReason = "dropped by middlebox"
+)
+
+// Edge is one traversed link (or host delivery) in a behavior.
+type Edge struct {
+	Box  int
+	Port int
+	To   Dest
+}
+
+// DropEvent records a branch that ended in a drop.
+type DropEvent struct {
+	Box    int
+	Reason DropReason
+}
+
+// Delivery records a branch that reached a host.
+type Delivery struct {
+	Host string
+	Box  int
+	Port int
+}
+
+// Behavior is the network-wide forwarding behavior of a packet: the tree of
+// links it traverses from the ingress box, and how each branch ends.
+type Behavior struct {
+	Ingress    int
+	Edges      []Edge
+	Deliveries []Delivery
+	Drops      []DropEvent
+	// Rewrites counts middlebox header modifications applied.
+	Rewrites int
+	// Probabilistic is set when some middlebox entry was Type 3, so the
+	// behavior is one of several possibilities (all are included).
+	Probabilistic bool
+}
+
+// Delivered reports whether any branch reached the named host (any host if
+// name is empty).
+func (b *Behavior) Delivered(name string) bool {
+	for _, d := range b.Deliveries {
+		if name == "" || d.Host == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Traverses reports whether the behavior crosses the given box.
+func (b *Behavior) Traverses(box int) bool {
+	if b.Ingress == box && (len(b.Edges) > 0 || len(b.Deliveries) > 0 || len(b.Drops) > 0) {
+		return true
+	}
+	for _, e := range b.Edges {
+		if e.Box == box || (e.To.Kind == DestBox && e.To.Box == box) {
+			return true
+		}
+	}
+	return false
+}
+
+// Path returns the box sequence of a unicast behavior (panics on
+// multicast). It includes the ingress box and, for delivered packets, ends
+// at the delivery box.
+func (b *Behavior) Path() []int {
+	path := []int{b.Ingress}
+	cur := b.Ingress
+	for {
+		next := -1
+		for _, e := range b.Edges {
+			if e.Box == cur && e.To.Kind == DestBox {
+				if next >= 0 {
+					panic("network: Path on multicast behavior")
+				}
+				next = e.To.Box
+			}
+		}
+		if next < 0 {
+			return path
+		}
+		path = append(path, next)
+		cur = next
+	}
+}
+
+// String renders the behavior compactly for logs and examples.
+func (b *Behavior) String() string {
+	var s strings.Builder
+	fmt.Fprintf(&s, "ingress=%d edges=%d", b.Ingress, len(b.Edges))
+	for _, d := range b.Deliveries {
+		fmt.Fprintf(&s, " deliver:%s", d.Host)
+	}
+	for _, d := range b.Drops {
+		fmt.Fprintf(&s, " drop@%d(%s)", d.Box, d.Reason)
+	}
+	if b.Rewrites > 0 {
+		fmt.Fprintf(&s, " rewrites=%d", b.Rewrites)
+	}
+	return s.String()
+}
+
+// member tests a predicate bit, treating tombstoned predicates as absent.
+func member(env *Env, leaf *aptree.Node, id int32) bool {
+	if id == NoPred {
+		return false
+	}
+	if env.IsLive != nil && !env.IsLive(id) {
+		return false
+	}
+	return leaf.Member.Get(int(id))
+}
+
+// aclPasses evaluates an optional ACL predicate: absent or tombstoned ACLs
+// pass everything.
+func aclPasses(env *Env, leaf *aptree.Node, id int32) bool {
+	if id == NoPred {
+		return true
+	}
+	if env.IsLive != nil && !env.IsLive(id) {
+		return true
+	}
+	return leaf.Member.Get(int(id))
+}
+
+// workItem is one traversal branch head.
+type workItem struct {
+	box  int
+	pkt  []byte
+	leaf *aptree.Node
+	hops int
+}
+
+type visitKey struct {
+	box  int
+	leaf *aptree.Node
+}
+
+// Walker runs stage-2 traversals with reusable scratch space, avoiding the
+// per-query allocations of Network.Behavior. A Walker is not safe for
+// concurrent use; pool one per goroutine for hot query loops.
+type Walker struct {
+	n       *Network
+	env     *Env
+	visited map[visitKey]bool
+	queue   []workItem
+	beh     Behavior
+}
+
+// NewWalker returns a reusable traverser for the network.
+func NewWalker(n *Network, env *Env) *Walker {
+	return &Walker{n: n, env: env, visited: make(map[visitKey]bool)}
+}
+
+// Behavior computes the packet's behavior like Network.Behavior, reusing
+// internal buffers. The returned pointer aliases the Walker's scratch and
+// is only valid until the next call.
+func (w *Walker) Behavior(ingress int, pkt []byte, leaf *aptree.Node) *Behavior {
+	clear(w.visited)
+	w.queue = w.queue[:0]
+	w.beh = Behavior{
+		Ingress:    ingress,
+		Edges:      w.beh.Edges[:0],
+		Deliveries: w.beh.Deliveries[:0],
+		Drops:      w.beh.Drops[:0],
+	}
+	w.n.behaviorInto(w.env, ingress, pkt, leaf, &w.beh, w.visited, &w.queue)
+	return &w.beh
+}
+
+// Behavior computes the network-wide behavior of a packet that enters at
+// the ingress box and was classified to leaf. pkt is needed only when the
+// network contains middleboxes that rewrite headers; it may be nil
+// otherwise.
+func (n *Network) Behavior(env *Env, ingress int, pkt []byte, leaf *aptree.Node) *Behavior {
+	b := &Behavior{Ingress: ingress}
+	var queue []workItem
+	n.behaviorInto(env, ingress, pkt, leaf, b, make(map[visitKey]bool), &queue)
+	return b
+}
+
+func (n *Network) behaviorInto(env *Env, ingress int, pkt []byte, leaf *aptree.Node, b *Behavior, visited map[visitKey]bool, queuep *[]workItem) {
+	maxHops := env.MaxHops
+	if maxHops == 0 {
+		maxHops = 4*len(n.Boxes) + 16
+	}
+	queue := append(*queuep, workItem{box: ingress, pkt: pkt, leaf: leaf})
+	defer func() { *queuep = queue[:0] }()
+	for len(queue) > 0 {
+		w := queue[0]
+		queue = queue[1:]
+		if w.hops > maxHops {
+			b.Drops = append(b.Drops, DropEvent{w.box, DropHopBudget})
+			continue
+		}
+		vk := visitKey{w.box, w.leaf}
+		if visited[vk] {
+			b.Drops = append(b.Drops, DropEvent{w.box, DropLoop})
+			continue
+		}
+		visited[vk] = true
+		box := n.Boxes[w.box]
+
+		if !aclPasses(env, w.leaf, box.InACL) {
+			b.Drops = append(b.Drops, DropEvent{w.box, DropInACL})
+			continue
+		}
+
+		// Middlebox processing happens before the box's own forwarding.
+		heads := []workItem{w}
+		if box.MB != nil {
+			var ok bool
+			heads, ok = box.MB.process(env, b, w)
+			if !ok {
+				b.Drops = append(b.Drops, DropEvent{w.box, DropMiddlebox})
+				continue
+			}
+		}
+
+		for _, h := range heads {
+			forwarded := false
+			for pi := range box.Ports {
+				port := &box.Ports[pi]
+				if !member(env, h.leaf, port.Fwd) {
+					continue
+				}
+				if !aclPasses(env, h.leaf, port.OutACL) {
+					b.Drops = append(b.Drops, DropEvent{w.box, DropOutACL})
+					forwarded = true
+					continue
+				}
+				forwarded = true
+				b.Edges = append(b.Edges, Edge{Box: w.box, Port: pi, To: port.Peer})
+				switch port.Peer.Kind {
+				case DestHost:
+					b.Deliveries = append(b.Deliveries, Delivery{Host: port.Peer.Host, Box: w.box, Port: pi})
+				case DestBox:
+					queue = append(queue, workItem{box: port.Peer.Box, pkt: h.pkt, leaf: h.leaf, hops: w.hops + 1})
+				case DestNone:
+					b.Drops = append(b.Drops, DropEvent{w.box, DropDangling})
+				}
+			}
+			if !forwarded {
+				b.Drops = append(b.Drops, DropEvent{w.box, DropNoRoute})
+			}
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package predicate
+
+import (
+	"math/rand"
+	"testing"
+
+	"apclassifier/internal/bdd"
+	"apclassifier/internal/header"
+	"apclassifier/internal/rule"
+)
+
+func benchTable(n int, rng *rand.Rand) *rule.FwdTable {
+	var tbl rule.FwdTable
+	for i := 0; i < n; i++ {
+		tbl.Add(rule.FwdRule{
+			Prefix: rule.P(rng.Uint32(), 8+rng.Intn(17)),
+			Port:   rng.Intn(8),
+		})
+	}
+	return &tbl
+}
+
+func BenchmarkPortPredicates1k(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tbl := benchTable(1000, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := bdd.New(32)
+		PortPredicates(d, header.IPv4Dst, "dstIP", tbl, 8)
+	}
+}
+
+func BenchmarkComputeAtoms(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	d := bdd.New(32)
+	var preds []bdd.Ref
+	for i := 0; i < 128; i++ {
+		preds = append(preds, d.Retain(d.FromPrefix(0, uint64(rng.Uint32()), 8+rng.Intn(13), 32)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compute(d, preds)
+	}
+}
+
+func BenchmarkACLPredicate(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	acl := &rule.ACL{Default: rule.Permit}
+	for i := 0; i < 64; i++ {
+		m := rule.MatchAll()
+		m.Dst = rule.P(rng.Uint32(), 8+8*rng.Intn(3))
+		m.Src = rule.P(rng.Uint32(), 8*rng.Intn(3))
+		if i%3 == 0 {
+			m.Proto = 6
+			m.DstPort = rule.R(80, 80)
+		}
+		acl.Rules = append(acl.Rules, rule.ACLRule{Match: m, Action: rule.Action(i%4 == 0)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := bdd.New(header.FiveTuple.Bits())
+		ACLPredicate(d, header.FiveTuple, acl)
+	}
+}
+
+func BenchmarkClassifyLinear(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	d := bdd.New(32)
+	var preds []bdd.Ref
+	for i := 0; i < 64; i++ {
+		preds = append(preds, d.FromPrefix(0, uint64(rng.Uint32()), 8+rng.Intn(13), 32))
+	}
+	atoms := Compute(d, preds)
+	b.ReportMetric(float64(atoms.N()), "atoms")
+	pkt := make([]byte, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng.Read(pkt)
+		atoms.ClassifyLinear(pkt)
+	}
+}

@@ -1,0 +1,113 @@
+// Package predicate converts data-plane rule tables into BDD predicates and
+// computes atomic predicates, following the algorithms of AP Verifier
+// (Yang & Lam) that the AP Classifier paper builds on.
+//
+// A forwarding table with m output ports becomes m forwarding predicates
+// (one per port: the set of packets the table sends to that port). An ACL
+// becomes one permit predicate. The atomic predicates of the resulting
+// predicate set are the coarsest partition of the header space such that
+// every predicate is a union of partition blocks; packets in the same block
+// have identical behavior at every box in the network.
+package predicate
+
+import (
+	"fmt"
+
+	"apclassifier/internal/bdd"
+	"apclassifier/internal/header"
+	"apclassifier/internal/rule"
+)
+
+// PrefixBDD returns the BDD for an IPv4 prefix constraint over the named
+// 32-bit field of the layout.
+func PrefixBDD(d *bdd.DD, layout *header.Layout, field string, p rule.Prefix) bdd.Ref {
+	f := layout.MustField(field)
+	if f.Width != 32 {
+		panic(fmt.Sprintf("predicate: field %q is %d bits, prefixes need 32", field, f.Width))
+	}
+	return d.FromPrefix(f.Offset, uint64(p.Value), p.Length, 32)
+}
+
+// PortPredicates converts a longest-prefix-match forwarding table into one
+// predicate per output port: preds[i] is true exactly for the packets the
+// table forwards to port i. Packets matched by a Drop rule, or matched by
+// no rule, belong to no port predicate.
+//
+// The conversion walks rules in decreasing prefix length, maintaining the
+// BDD of already-shadowed packets, so each rule contributes only the
+// packets it actually wins (the AP Verifier construction).
+func PortPredicates(d *bdd.DD, layout *header.Layout, dstField string, t *rule.FwdTable, numPorts int) []bdd.Ref {
+	preds := make([]bdd.Ref, numPorts)
+	for i := range preds {
+		preds[i] = bdd.False
+	}
+	shadow := bdd.False
+	for _, ri := range t.ByDescendingLength() {
+		r := t.Rules[ri]
+		match := PrefixBDD(d, layout, dstField, r.Prefix)
+		eff := d.Diff(match, shadow)
+		if eff != bdd.False && r.Port != rule.Drop {
+			if r.Port < 0 || r.Port >= numPorts {
+				panic(fmt.Sprintf("predicate: rule port %d out of range [0,%d)", r.Port, numPorts))
+			}
+			preds[r.Port] = d.Or(preds[r.Port], eff)
+		}
+		shadow = d.Or(shadow, match)
+		if shadow == bdd.True {
+			break
+		}
+	}
+	return preds
+}
+
+// Match5BDD returns the BDD of a 5-tuple match condition. The layout must
+// contain every field the condition constrains non-trivially; a condition
+// on a field the layout lacks panics, because it could not be represented
+// faithfully.
+func Match5BDD(d *bdd.DD, layout *header.Layout, m rule.Match5) bdd.Ref {
+	r := bdd.True
+	usePrefix := func(field string, p rule.Prefix) {
+		if p.Length == 0 {
+			return
+		}
+		r = d.And(r, PrefixBDD(d, layout, field, p))
+	}
+	usePrefix("srcIP", m.Src)
+	usePrefix("dstIP", m.Dst)
+	useRange := func(field string, pr rule.PortRange) {
+		if pr == rule.AnyPort {
+			return
+		}
+		f := layout.MustField(field)
+		r = d.And(r, d.FromRange(f.Offset, uint64(pr.Lo), uint64(pr.Hi), f.Width))
+	}
+	useRange("srcPort", m.SrcPort)
+	useRange("dstPort", m.DstPort)
+	if m.Proto != rule.AnyProto {
+		f := layout.MustField("proto")
+		r = d.And(r, d.FromValue(f.Offset, uint64(m.Proto), f.Width))
+	}
+	return r
+}
+
+// ACLPredicate converts a first-match ACL into its permit predicate: the
+// set of packets the ACL allows through.
+func ACLPredicate(d *bdd.DD, layout *header.Layout, a *rule.ACL) bdd.Ref {
+	permit := bdd.False
+	shadow := bdd.False
+	for _, r := range a.Rules {
+		match := Match5BDD(d, layout, r.Match)
+		eff := d.Diff(match, shadow)
+		if eff != bdd.False && r.Action == rule.Permit {
+			permit = d.Or(permit, eff)
+		}
+		shadow = d.Or(shadow, match)
+		if shadow == bdd.True {
+			break
+		}
+	}
+	if a.Default == rule.Permit {
+		permit = d.Or(permit, d.Not(shadow))
+	}
+	return permit
+}

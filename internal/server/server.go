@@ -1,0 +1,282 @@
+// Package server exposes a classifier over HTTP/JSON — the shape in which
+// an SDN controller would embed AP Classifier as a service: behavior
+// queries, live rule updates, reconstruction, and invariant checks, all on
+// one mutexed classifier instance.
+//
+// Endpoints:
+//
+//	GET  /stats                     → dataset and classifier statistics
+//	POST /query                     → {"dst":"10.1.2.3","ingress":"seattle", ...} → behavior
+//	POST /rules/add                 → {"box":"seattle","prefix":"10.0.0.0/8","port":3}
+//	POST /rules/remove              → {"box":"seattle","prefix":"10.0.0.0/8"}
+//	POST /reconstruct               → {"weighted":false}
+//	GET  /verify/loops              → loop-freedom check over all packets
+//	GET  /verify/reach?from=a&host=h → exact reachability summary
+//
+// The handler serializes every request with one lock: queries are
+// microseconds, and rule updates must not interleave with behavior
+// computation (the facade documents the same requirement).
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"apclassifier"
+	"apclassifier/internal/netgen"
+	"apclassifier/internal/rule"
+	"apclassifier/internal/verify"
+)
+
+// Server wraps a classifier with an HTTP API.
+type Server struct {
+	mu sync.Mutex
+	c  *apclassifier.Classifier
+	ds *netgen.Dataset
+}
+
+// New builds a server around a compiled classifier.
+func New(c *apclassifier.Classifier) *Server {
+	return &Server{c: c, ds: c.Dataset}
+}
+
+// Handler returns the HTTP handler (mountable under any mux).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /rules/add", s.handleRuleAdd)
+	mux.HandleFunc("POST /rules/remove", s.handleRuleRemove)
+	mux.HandleFunc("POST /reconstruct", s.handleReconstruct)
+	mux.HandleFunc("GET /verify/loops", s.handleLoops)
+	mux.HandleFunc("GET /verify/reach", s.handleReach)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// StatsResponse is the /stats payload.
+type StatsResponse struct {
+	Dataset    string  `json:"dataset"`
+	Boxes      int     `json:"boxes"`
+	Rules      int     `json:"rules"`
+	ACLRules   int     `json:"aclRules"`
+	Predicates int     `json:"predicates"`
+	Atoms      int     `json:"atoms"`
+	AvgDepth   float64 `json:"avgTreeDepth"`
+	LiveMemMB  float64 `json:"liveMemMB"`
+	Version    uint64  `json:"treeVersion"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Dataset:    s.ds.Name,
+		Boxes:      len(s.ds.Boxes),
+		Rules:      s.ds.NumRules(),
+		ACLRules:   s.ds.NumACLRules(),
+		Predicates: s.c.NumPredicates(),
+		Atoms:      s.c.NumAtoms(),
+		AvgDepth:   s.c.AverageDepth(),
+		LiveMemMB:  float64(s.c.Manager.DD().LiveMemBytes()) / 1e6,
+		Version:    s.c.Manager.Version(),
+	})
+}
+
+// QueryRequest is the /query payload. Addresses are dotted quads; ingress
+// is a box name. Fields the layout lacks are ignored.
+type QueryRequest struct {
+	Ingress string `json:"ingress"`
+	Dst     string `json:"dst"`
+	Src     string `json:"src,omitempty"`
+	SrcPort uint16 `json:"srcPort,omitempty"`
+	DstPort uint16 `json:"dstPort,omitempty"`
+	Proto   uint8  `json:"proto,omitempty"`
+}
+
+// QueryResponse is the /query result.
+type QueryResponse struct {
+	Atom      int32    `json:"atom"`
+	Depth     int32    `json:"searchDepth"`
+	Delivered []string `json:"delivered"`
+	Drops     []string `json:"drops"`
+	Path      []string `json:"path,omitempty"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	f := rule.Fields{SrcPort: req.SrcPort, DstPort: req.DstPort, Proto: req.Proto}
+	var err error
+	if f.Dst, err = parseIP(req.Dst); err != nil {
+		writeErr(w, http.StatusBadRequest, "dst: %v", err)
+		return
+	}
+	if req.Src != "" {
+		if f.Src, err = parseIP(req.Src); err != nil {
+			writeErr(w, http.StatusBadRequest, "src: %v", err)
+			return
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ingress := s.c.Net.BoxByName(req.Ingress)
+	if ingress < 0 {
+		writeErr(w, http.StatusBadRequest, "unknown ingress box %q", req.Ingress)
+		return
+	}
+	pkt := s.ds.PacketFromFields(f)
+	leaf := s.c.Classify(pkt)
+	b := s.c.Behavior(ingress, pkt)
+	resp := QueryResponse{Atom: leaf.AtomID, Depth: leaf.Depth}
+	for _, d := range b.Deliveries {
+		resp.Delivered = append(resp.Delivered, d.Host)
+	}
+	for _, d := range b.Drops {
+		resp.Drops = append(resp.Drops, fmt.Sprintf("%s: %s", s.c.Net.Boxes[d.Box].Name, d.Reason))
+	}
+	if len(b.Deliveries) <= 1 {
+		for _, box := range b.Path() {
+			resp.Path = append(resp.Path, s.c.Net.Boxes[box].Name)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// RuleRequest is the /rules/{add,remove} payload.
+type RuleRequest struct {
+	Box    string `json:"box"`
+	Prefix string `json:"prefix"`
+	Port   int    `json:"port"` // output port index; -1 = drop (add only)
+}
+
+func (s *Server) parseRule(w http.ResponseWriter, r *http.Request) (int, rule.Prefix, int, bool) {
+	var req RuleRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return 0, rule.Prefix{}, 0, false
+	}
+	box := s.c.Net.BoxByName(req.Box)
+	if box < 0 {
+		writeErr(w, http.StatusBadRequest, "unknown box %q", req.Box)
+		return 0, rule.Prefix{}, 0, false
+	}
+	p, err := netgen.ParsePrefix(req.Prefix)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "prefix: %v", err)
+		return 0, rule.Prefix{}, 0, false
+	}
+	return box, p, req.Port, true
+}
+
+func (s *Server) handleRuleAdd(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	box, p, port, ok := s.parseRule(w, r)
+	if !ok {
+		return
+	}
+	if port != rule.Drop && (port < 0 || port >= s.ds.Boxes[box].NumPorts) {
+		writeErr(w, http.StatusBadRequest, "port %d out of range", port)
+		return
+	}
+	s.c.AddFwdRule(box, rule.FwdRule{Prefix: p, Port: port})
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"installed": true, "treeVersion": s.c.Manager.Version(),
+		"updatesSinceSwap": s.c.Manager.UpdatesSinceSwap(),
+	})
+}
+
+func (s *Server) handleRuleRemove(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	box, p, _, ok := s.parseRule(w, r)
+	if !ok {
+		return
+	}
+	removed := s.c.RemoveFwdRule(box, p)
+	status := http.StatusOK
+	if !removed {
+		status = http.StatusNotFound
+	}
+	writeJSON(w, status, map[string]bool{"removed": removed})
+}
+
+func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Weighted bool `json:"weighted"`
+	}
+	json.NewDecoder(r.Body).Decode(&req) // empty body = unweighted
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	before := s.c.AverageDepth()
+	s.c.Reconstruct(req.Weighted)
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"avgDepthBefore": before,
+		"avgDepthAfter":  s.c.AverageDepth(),
+		"treeVersion":    s.c.Manager.Version(),
+	})
+}
+
+func (s *Server) handleLoops(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	loops := verify.New(s.c).Loops()
+	names := make([]string, 0, len(loops))
+	for _, l := range loops {
+		names = append(names, fmt.Sprintf("atom %d from %s", l.AtomID, s.c.Net.Boxes[l.Ingress].Name))
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"loopFree": len(loops) == 0, "violations": names,
+	})
+}
+
+func (s *Server) handleReach(w http.ResponseWriter, r *http.Request) {
+	from := r.URL.Query().Get("from")
+	host := r.URL.Query().Get("host")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	box := s.c.Net.BoxByName(from)
+	if box < 0 {
+		writeErr(w, http.StatusBadRequest, "unknown box %q", from)
+		return
+	}
+	a := verify.New(s.c)
+	set := a.ReachSet(box, host)
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"from": from, "host": host, "packets": a.Describe(set),
+	})
+}
+
+// parseIP parses a dotted quad.
+func parseIP(s string) (uint32, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("bad IPv4 address %q", s)
+	}
+	var v uint32
+	for _, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 0 || n > 255 {
+			return 0, fmt.Errorf("bad IPv4 address %q", s)
+		}
+		v = v<<8 | uint32(n)
+	}
+	return v, nil
+}

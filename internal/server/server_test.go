@@ -1,0 +1,188 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"apclassifier"
+	"apclassifier/internal/netgen"
+	"apclassifier/internal/rule"
+)
+
+func testServer(t *testing.T) (*httptest.Server, *netgen.Dataset) {
+	t.Helper()
+	ds := netgen.Internet2Like(netgen.Config{Seed: 71, RuleScale: 0.01})
+	c, err := apclassifier.New(ds, apclassifier.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(c).Handler())
+	t.Cleanup(ts.Close)
+	return ts, ds
+}
+
+func getJSON(t *testing.T, url string, out interface{}) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode
+}
+
+func postJSON(t *testing.T, url string, body interface{}, out interface{}) int {
+	t.Helper()
+	buf, _ := json.Marshal(body)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts, ds := testServer(t)
+	var stats StatsResponse
+	if code := getJSON(t, ts.URL+"/stats", &stats); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if stats.Rules != ds.NumRules() || stats.Predicates == 0 || stats.Atoms == 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.LiveMemMB <= 0 {
+		t.Fatal("live memory must be positive")
+	}
+}
+
+func TestQueryEndpointAgreesWithOracle(t *testing.T) {
+	ts, ds := testServer(t)
+	rng := rand.New(rand.NewSource(71))
+	delivered := 0
+	for i := 0; i < 60; i++ {
+		f := ds.RandomFields(rng)
+		ing := rng.Intn(len(ds.Boxes))
+		var resp QueryResponse
+		code := postJSON(t, ts.URL+"/query", QueryRequest{
+			Ingress: ds.Boxes[ing].Name,
+			Dst:     fmt.Sprintf("%d.%d.%d.%d", byte(f.Dst>>24), byte(f.Dst>>16), byte(f.Dst>>8), byte(f.Dst)),
+		}, &resp)
+		if code != 200 {
+			t.Fatalf("query status %d", code)
+		}
+		want := ds.Simulate(ing, rule.Fields{Dst: f.Dst})
+		if len(want.Delivered) != len(resp.Delivered) {
+			t.Fatalf("query %d: delivered %v, oracle %v", i, resp.Delivered, want.Delivered)
+		}
+		if len(resp.Delivered) > 0 {
+			delivered++
+			if resp.Delivered[0] != want.Delivered[0] {
+				t.Fatalf("query %d: wrong host", i)
+			}
+			if len(resp.Path) == 0 {
+				t.Fatal("delivered query must include a path")
+			}
+		}
+	}
+	if delivered == 0 {
+		t.Fatal("no delivered queries exercised")
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	ts, _ := testServer(t)
+	if code := postJSON(t, ts.URL+"/query", QueryRequest{Ingress: "nosuch", Dst: "10.0.0.1"}, &map[string]string{}); code != 400 {
+		t.Fatalf("unknown box: status %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/query", QueryRequest{Ingress: "seattle", Dst: "not-an-ip"}, &map[string]string{}); code != 400 {
+		t.Fatalf("bad dst: status %d", code)
+	}
+	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader([]byte("{garbage")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("garbage JSON: status %d", resp.StatusCode)
+	}
+}
+
+func TestRuleLifecycleOverHTTP(t *testing.T) {
+	ts, ds := testServer(t)
+	// Install a drop for a fresh /32 and see the query flip.
+	target := "240.1.2.3"
+	q := QueryRequest{Ingress: ds.Boxes[0].Name, Dst: target}
+	var before QueryResponse
+	postJSON(t, ts.URL+"/query", q, &before)
+	if len(before.Delivered) != 0 {
+		t.Fatal("240/8 must start unrouted")
+	}
+
+	// Route it to port 0 of box 0 (an edge port on internet2 boxes? port 0
+	// is a link port; either way the rule installs and the behavior
+	// changes deterministically).
+	var addResp map[string]interface{}
+	if code := postJSON(t, ts.URL+"/rules/add", RuleRequest{Box: ds.Boxes[0].Name, Prefix: "240.1.2.3/32", Port: 0}, &addResp); code != 200 {
+		t.Fatalf("add status %d", code)
+	}
+	var after QueryResponse
+	postJSON(t, ts.URL+"/query", q, &after)
+	if len(after.Delivered) == 0 && len(after.Drops) == len(before.Drops) && after.Atom == before.Atom {
+		t.Fatalf("rule add had no observable effect: %+v vs %+v", before, after)
+	}
+
+	var rmResp map[string]bool
+	if code := postJSON(t, ts.URL+"/rules/remove", RuleRequest{Box: ds.Boxes[0].Name, Prefix: "240.1.2.3/32"}, &rmResp); code != 200 || !rmResp["removed"] {
+		t.Fatalf("remove failed: %d %v", code, rmResp)
+	}
+	if code := postJSON(t, ts.URL+"/rules/remove", RuleRequest{Box: ds.Boxes[0].Name, Prefix: "240.1.2.3/32"}, &rmResp); code != 404 {
+		t.Fatalf("second remove: status %d", code)
+	}
+}
+
+func TestReconstructEndpoint(t *testing.T) {
+	ts, _ := testServer(t)
+	var resp map[string]interface{}
+	if code := postJSON(t, ts.URL+"/reconstruct", map[string]bool{"weighted": false}, &resp); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if resp["treeVersion"].(float64) < 1 {
+		t.Fatalf("version did not bump: %v", resp)
+	}
+}
+
+func TestVerifyEndpoints(t *testing.T) {
+	ts, ds := testServer(t)
+	var loops map[string]interface{}
+	if code := getJSON(t, ts.URL+"/verify/loops", &loops); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if loops["loopFree"] != true {
+		t.Fatalf("generated network must be loop-free: %v", loops)
+	}
+	var reach map[string]interface{}
+	url := fmt.Sprintf("%s/verify/reach?from=%s&host=%s", ts.URL, ds.Boxes[0].Name, ds.Hosts[0].Name)
+	if code := getJSON(t, url, &reach); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if reach["packets"] == "" {
+		t.Fatal("reach summary empty")
+	}
+	if code := getJSON(t, ts.URL+"/verify/reach?from=nosuch&host=x", &reach); code != 400 {
+		t.Fatalf("unknown box: status %d", code)
+	}
+}

@@ -1,0 +1,160 @@
+// Package trie implements a Veriflow-style network-wide prefix trie: all
+// forwarding rules of all boxes stored in one binary trie over the
+// destination address. It serves two purposes in this reproduction:
+//
+//  1. as the related-work baseline the paper discusses (storing all rules
+//     and simulating forwarding per query), and
+//  2. as an equivalence-class (EC) extractor: for a rule or address, the
+//     trie yields the set of overlapping rules and the disjoint address
+//     ranges (ECs) they induce — Veriflow's core primitive.
+package trie
+
+import (
+	"sort"
+
+	"apclassifier/internal/rule"
+)
+
+// Entry is one rule in the trie, tagged with its owning box.
+type Entry struct {
+	Box  int
+	Rule rule.FwdRule
+}
+
+type node struct {
+	children [2]*node
+	entries  []Entry // rules whose prefix ends exactly here
+}
+
+// Trie is a binary trie over 32-bit destination addresses.
+type Trie struct {
+	root  node
+	count int
+}
+
+// Insert adds a forwarding rule of a box.
+func (t *Trie) Insert(box int, r rule.FwdRule) {
+	n := &t.root
+	for i := 0; i < r.Prefix.Length; i++ {
+		b := (r.Prefix.Value >> uint(31-i)) & 1
+		if n.children[b] == nil {
+			n.children[b] = &node{}
+		}
+		n = n.children[b]
+	}
+	n.entries = append(n.entries, Entry{box, r})
+	t.count++
+}
+
+// Len reports the number of stored rules.
+func (t *Trie) Len() int { return t.count }
+
+// Matching returns every rule (from every box) whose prefix contains ip,
+// in root-to-leaf (shortest-prefix-first) order.
+func (t *Trie) Matching(ip uint32) []Entry {
+	var out []Entry
+	n := &t.root
+	for i := 0; ; i++ {
+		out = append(out, n.entries...)
+		if i == 32 {
+			return out
+		}
+		b := (ip >> uint(31-i)) & 1
+		if n.children[b] == nil {
+			return out
+		}
+		n = n.children[b]
+	}
+}
+
+// LookupBox resolves the LPM decision of one box for ip from the trie
+// content (first-inserted rule wins length ties, matching rule.FwdTable).
+func LookupBox(matches []Entry, box int) (port int, ok bool) {
+	best := -1
+	for _, e := range matches {
+		if e.Box != box {
+			continue
+		}
+		if e.Rule.Prefix.Length > best {
+			best = e.Rule.Prefix.Length
+			port = e.Rule.Port
+		}
+	}
+	if best < 0 || port == rule.Drop {
+		return 0, false
+	}
+	return port, true
+}
+
+// Overlapping returns every rule whose prefix overlaps the given prefix:
+// rules on the path above it plus the entire subtree below it. This is the
+// set of rules Veriflow examines when a rule changes.
+func (t *Trie) Overlapping(p rule.Prefix) []Entry {
+	var out []Entry
+	n := &t.root
+	for i := 0; i < p.Length; i++ {
+		out = append(out, n.entries...)
+		b := (p.Value >> uint(31-i)) & 1
+		if n.children[b] == nil {
+			return out
+		}
+		n = n.children[b]
+	}
+	var walk func(*node)
+	walk = func(n *node) {
+		out = append(out, n.entries...)
+		for _, c := range n.children {
+			if c != nil {
+				walk(c)
+			}
+		}
+	}
+	walk(n)
+	return out
+}
+
+// Range is a half-open address interval [Lo, Hi].
+type Range struct {
+	Lo, Hi uint32
+}
+
+// ECs computes the equivalence classes (disjoint destination ranges) that
+// the rules overlapping p induce within p's own range: inside one range,
+// every box makes the same forwarding decision. This is Veriflow's EC
+// slicing restricted to one dimension (destination address).
+func (t *Trie) ECs(p rule.Prefix) []Range {
+	lo := p.Value
+	hi := p.Value | ^prefixMask(p.Length)
+	cuts := map[uint32]bool{lo: true}
+	for _, e := range t.Overlapping(p) {
+		rl := e.Rule.Prefix.Value
+		rh := e.Rule.Prefix.Value | ^prefixMask(e.Rule.Prefix.Length)
+		if rl > lo && rl <= hi {
+			cuts[rl] = true
+		}
+		if rh >= lo && rh < hi {
+			cuts[rh+1] = true
+		}
+	}
+	points := make([]uint32, 0, len(cuts))
+	for c := range cuts {
+		points = append(points, c)
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i] < points[j] })
+	var out []Range
+	for i, c := range points {
+		end := hi
+		if i+1 < len(points) {
+			end = points[i+1] - 1
+		}
+		out = append(out, Range{c, end})
+	}
+	return out
+}
+
+func prefixMask(length int) uint32 {
+	if length == 0 {
+		return 0
+	}
+	return ^uint32(0) << uint(32-length)
+}

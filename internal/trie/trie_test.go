@@ -1,0 +1,157 @@
+package trie
+
+import (
+	"math/rand"
+	"testing"
+
+	"apclassifier/internal/netgen"
+	"apclassifier/internal/rule"
+)
+
+func TestInsertAndMatching(t *testing.T) {
+	var tr Trie
+	tr.Insert(0, rule.FwdRule{Prefix: rule.P(0x0A000000, 8), Port: 1})
+	tr.Insert(0, rule.FwdRule{Prefix: rule.P(0x0A0B0000, 16), Port: 2})
+	tr.Insert(1, rule.FwdRule{Prefix: rule.P(0, 0), Port: 3})
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	m := tr.Matching(0x0A0B0001)
+	if len(m) != 3 {
+		t.Fatalf("matching = %d rules, want 3", len(m))
+	}
+	m = tr.Matching(0x0B000000)
+	if len(m) != 1 || m[0].Box != 1 {
+		t.Fatalf("matching = %v", m)
+	}
+}
+
+func TestLookupBoxAgainstFwdTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	var tr Trie
+	tables := make([]rule.FwdTable, 4)
+	for b := range tables {
+		for i := 0; i < 150; i++ {
+			r := rule.FwdRule{
+				Prefix: rule.P(rng.Uint32(), []int{0, 8, 12, 16, 24, 32}[rng.Intn(6)]),
+				Port:   rng.Intn(5) - 1, // includes Drop
+			}
+			tables[b].Add(r)
+			tr.Insert(b, r)
+		}
+	}
+	for probe := 0; probe < 2000; probe++ {
+		ip := rng.Uint32()
+		if probe%3 == 0 { // bias toward installed prefixes
+			b := rng.Intn(4)
+			ip = tables[b].Rules[rng.Intn(len(tables[b].Rules))].Prefix.Value | rng.Uint32()>>16
+		}
+		matches := tr.Matching(ip)
+		for b := range tables {
+			wantPort, wantOK := tables[b].Lookup(ip)
+			gotPort, gotOK := LookupBox(matches, b)
+			if wantOK != gotOK || (wantOK && wantPort != gotPort) {
+				t.Fatalf("ip %08x box %d: trie (%d,%v) vs table (%d,%v)",
+					ip, b, gotPort, gotOK, wantPort, wantOK)
+			}
+		}
+	}
+}
+
+func TestOverlapping(t *testing.T) {
+	var tr Trie
+	tr.Insert(0, rule.FwdRule{Prefix: rule.P(0x0A000000, 8), Port: 1})  // above
+	tr.Insert(0, rule.FwdRule{Prefix: rule.P(0x0A0B0000, 16), Port: 2}) // the query
+	tr.Insert(0, rule.FwdRule{Prefix: rule.P(0x0A0B0C00, 24), Port: 3}) // below
+	tr.Insert(0, rule.FwdRule{Prefix: rule.P(0x0B000000, 8), Port: 4})  // unrelated
+	got := tr.Overlapping(rule.P(0x0A0B0000, 16))
+	if len(got) != 3 {
+		t.Fatalf("overlapping = %d rules, want 3 (got %v)", len(got), got)
+	}
+	for _, e := range got {
+		if e.Rule.Port == 4 {
+			t.Fatal("unrelated prefix included")
+		}
+	}
+}
+
+func TestECsPartitionAndAreUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	var tr Trie
+	tables := make([]rule.FwdTable, 3)
+	base := rule.P(0x0A000000, 8)
+	for b := range tables {
+		for i := 0; i < 60; i++ {
+			// Rules clustered inside and around the query prefix.
+			var p rule.Prefix
+			if rng.Intn(2) == 0 {
+				p = rule.P(0x0A000000|rng.Uint32()>>8, 9+rng.Intn(24))
+			} else {
+				p = rule.P(rng.Uint32(), rng.Intn(33))
+			}
+			r := rule.FwdRule{Prefix: p, Port: rng.Intn(4)}
+			tables[b].Add(r)
+			tr.Insert(b, r)
+		}
+	}
+	ecs := tr.ECs(base)
+	if len(ecs) < 2 {
+		t.Fatalf("expected several ECs, got %d", len(ecs))
+	}
+	// Partition: contiguous, non-overlapping, covering the base range.
+	lo := base.Value
+	hi := base.Value | 0x00FFFFFF
+	if ecs[0].Lo != lo || ecs[len(ecs)-1].Hi != hi {
+		t.Fatalf("ECs do not span the prefix: %v", ecs)
+	}
+	for i := 1; i < len(ecs); i++ {
+		if ecs[i].Lo != ecs[i-1].Hi+1 {
+			t.Fatalf("gap or overlap between ECs %d and %d", i-1, i)
+		}
+	}
+	// Uniformity: within one EC, every box forwards every address the
+	// same way. Probe boundaries and random interior points.
+	for _, ec := range ecs {
+		probes := []uint32{ec.Lo, ec.Hi}
+		for k := 0; k < 4; k++ {
+			if ec.Hi > ec.Lo {
+				probes = append(probes, ec.Lo+uint32(rng.Int63n(int64(ec.Hi-ec.Lo)+1)))
+			}
+		}
+		for b := range tables {
+			p0, ok0 := tables[b].Lookup(probes[0])
+			for _, ip := range probes[1:] {
+				p, ok := tables[b].Lookup(ip)
+				if ok != ok0 || (ok && p != p0) {
+					t.Fatalf("EC [%08x,%08x] not uniform at box %d: %08x differs from %08x",
+						ec.Lo, ec.Hi, b, ip, probes[0])
+				}
+			}
+		}
+	}
+}
+
+func TestTrieOnGeneratedDataset(t *testing.T) {
+	ds := netgen.Internet2Like(netgen.Config{Seed: 44, RuleScale: 0.01})
+	var tr Trie
+	for b := range ds.Boxes {
+		for _, r := range ds.Boxes[b].Fwd.Rules {
+			tr.Insert(b, r)
+		}
+	}
+	if tr.Len() != ds.NumRules() {
+		t.Fatalf("trie holds %d rules, dataset has %d", tr.Len(), ds.NumRules())
+	}
+	rng := rand.New(rand.NewSource(44))
+	for i := 0; i < 500; i++ {
+		f := ds.RandomFields(rng)
+		matches := tr.Matching(f.Dst)
+		for b := range ds.Boxes {
+			wantPort, wantOK := ds.Boxes[b].Fwd.Lookup(f.Dst)
+			gotPort, gotOK := LookupBox(matches, b)
+			if wantOK != gotOK || (wantOK && wantPort != gotPort) {
+				t.Fatalf("trie and FIB disagree at box %d for %08x", b, f.Dst)
+			}
+		}
+	}
+}

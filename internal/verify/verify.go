@@ -1,0 +1,213 @@
+// Package verify builds the control-plane applications of §I on top of
+// packet behavior identification: network-wide invariant checking at
+// atomic-predicate granularity.
+//
+// Because every packet in an atom behaves identically at every box,
+// network-wide questions ("which packets reach host h from box b?", "does
+// any packet loop?", "can traffic bypass the firewall?") reduce to one
+// behavior computation per (atom, ingress) pair, and their answers are
+// exact predicates — BDDs — rather than samples.
+//
+// The analyzer snapshots the classifier's current tree; run it while the
+// classifier is quiescent (no concurrent updates or reconstructions).
+package verify
+
+import (
+	"fmt"
+
+	"apclassifier"
+	"apclassifier/internal/aptree"
+	"apclassifier/internal/bdd"
+	"apclassifier/internal/network"
+)
+
+// Analyzer answers network-wide verification queries for one snapshot of
+// the data plane.
+type Analyzer struct {
+	c      *apclassifier.Classifier
+	leaves []*aptree.Node
+	// cache memoizes behavior per (ingress, leaf).
+	cache map[behKey]*network.Behavior
+}
+
+type behKey struct {
+	ingress int
+	leaf    *aptree.Node
+}
+
+// New snapshots the classifier's live AP Tree leaves.
+func New(c *apclassifier.Classifier) *Analyzer {
+	a := &Analyzer{c: c, cache: make(map[behKey]*network.Behavior)}
+	c.Manager.Tree().Leaves(func(n *aptree.Node) { a.leaves = append(a.leaves, n) })
+	return a
+}
+
+// NumAtoms reports the number of atoms in the snapshot.
+func (a *Analyzer) NumAtoms() int { return len(a.leaves) }
+
+// behavior computes (or recalls) the behavior of an atom from an ingress.
+// Middleboxes are not supported by atom-level analysis (their rewrites
+// depend on concrete headers), so networks with middleboxes are rejected.
+func (a *Analyzer) behavior(ingress int, leaf *aptree.Node) *network.Behavior {
+	k := behKey{ingress, leaf}
+	if b, ok := a.cache[k]; ok {
+		return b
+	}
+	b := a.c.Net.Behavior(a.c.Env(), ingress, nil, leaf)
+	a.cache[k] = b
+	return b
+}
+
+func (a *Analyzer) checkNoMiddleboxes() {
+	for _, b := range a.c.Net.Boxes {
+		if b.MB != nil {
+			panic("verify: atom-level analysis does not support middleboxes")
+		}
+	}
+}
+
+// ReachSet returns the exact set of packets (as a BDD) that, entering at
+// ingress, are delivered to the named host.
+func (a *Analyzer) ReachSet(ingress int, host string) bdd.Ref {
+	a.checkNoMiddleboxes()
+	d := a.c.Manager.DD()
+	set := bdd.False
+	for _, leaf := range a.leaves {
+		if a.behavior(ingress, leaf).Delivered(host) {
+			set = d.Or(set, leaf.BDD)
+		}
+	}
+	return set
+}
+
+// Blackholes returns the set of packets that, entering at ingress, have at
+// least one branch dropped for lack of any matching output port.
+func (a *Analyzer) Blackholes(ingress int) bdd.Ref {
+	a.checkNoMiddleboxes()
+	d := a.c.Manager.DD()
+	set := bdd.False
+	for _, leaf := range a.leaves {
+		for _, drop := range a.behavior(ingress, leaf).Drops {
+			if drop.Reason == network.DropNoRoute {
+				set = d.Or(set, leaf.BDD)
+				break
+			}
+		}
+	}
+	return set
+}
+
+// Loop describes a forwarding loop: an atom that revisits a box when
+// entering at Ingress.
+type Loop struct {
+	Ingress int
+	AtomID  int32
+	Example []int8 // one satisfying header assignment (bdd.AnySat form)
+}
+
+// Loops sweeps every (ingress, atom) pair and reports forwarding loops.
+func (a *Analyzer) Loops() []Loop {
+	a.checkNoMiddleboxes()
+	d := a.c.Manager.DD()
+	var out []Loop
+	for ingress := range a.c.Net.Boxes {
+		for _, leaf := range a.leaves {
+			for _, drop := range a.behavior(ingress, leaf).Drops {
+				if drop.Reason == network.DropLoop {
+					out = append(out, Loop{
+						Ingress: ingress,
+						AtomID:  leaf.AtomID,
+						Example: d.AnySat(leaf.BDD),
+					})
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// WaypointViolations returns the set of packets that reach the host from
+// ingress without traversing the waypoint box — the policy-enforcement
+// check of §I ("HTTP traffic should be forwarded through firewall, IDS,
+// proxy"). A False result means the waypoint property holds.
+func (a *Analyzer) WaypointViolations(ingress int, host string, waypoint int) bdd.Ref {
+	a.checkNoMiddleboxes()
+	d := a.c.Manager.DD()
+	set := bdd.False
+	for _, leaf := range a.leaves {
+		b := a.behavior(ingress, leaf)
+		if b.Delivered(host) && !b.Traverses(waypoint) {
+			set = d.Or(set, leaf.BDD)
+		}
+	}
+	return set
+}
+
+// CanReach returns the set of packets that, entering at box from, traverse
+// box to (the VLAN-isolation check of §I asks for this to be empty between
+// tenants).
+func (a *Analyzer) CanReach(from, to int) bdd.Ref {
+	a.checkNoMiddleboxes()
+	d := a.c.Manager.DD()
+	set := bdd.False
+	for _, leaf := range a.leaves {
+		if from == to || a.behavior(from, leaf).Traverses(to) {
+			set = d.Or(set, leaf.BDD)
+		}
+	}
+	return set
+}
+
+// Isolated reports whether no packet entering at from can traverse to.
+func (a *Analyzer) Isolated(from, to int) bool {
+	if from == to {
+		return false
+	}
+	a.checkNoMiddleboxes()
+	for _, leaf := range a.leaves {
+		if a.behavior(from, leaf).Traverses(to) {
+			return false
+		}
+	}
+	return true
+}
+
+// ReachabilityMatrix computes, for every ordered box pair (i, j), how many
+// atoms entering at i traverse j — a compact network-wide connectivity
+// summary (diagonal counts atoms that do anything at all at i).
+func (a *Analyzer) ReachabilityMatrix() [][]int {
+	a.checkNoMiddleboxes()
+	n := len(a.c.Net.Boxes)
+	m := make([][]int, n)
+	for i := range m {
+		m[i] = make([]int, n)
+		for _, leaf := range a.leaves {
+			b := a.behavior(i, leaf)
+			for j := 0; j < n; j++ {
+				if b.Traverses(j) {
+					m[i][j]++
+				}
+			}
+		}
+	}
+	return m
+}
+
+// Describe renders a packet-set BDD as a human-readable summary: its share
+// of the header space and one example header.
+func (a *Analyzer) Describe(set bdd.Ref) string {
+	d := a.c.Manager.DD()
+	if set == bdd.False {
+		return "(empty)"
+	}
+	frac := d.SatCount(set) / d.SatCount(bdd.True)
+	ex := d.AnySat(set)
+	pkt := a.c.Layout.NewPacket()
+	for i, v := range ex {
+		if v == 1 {
+			pkt[i/8] |= 0x80 >> uint(i%8)
+		}
+	}
+	return fmt.Sprintf("%.4g%% of header space, e.g. %s", frac*100, a.c.Layout.String(pkt))
+}

@@ -1,0 +1,102 @@
+package apclassifier
+
+import (
+	"apclassifier/internal/network"
+	"apclassifier/internal/rule"
+)
+
+// FlowProbe names one flow whose behavior a what-if check observes.
+type FlowProbe struct {
+	Ingress int
+	Fields  rule.Fields
+}
+
+// BehaviorChange records how one probed flow's behavior differs between
+// the current data plane and the hypothetical one.
+type BehaviorChange struct {
+	Probe          FlowProbe
+	Before, After  *network.Behavior
+	DeliveryChange bool // delivered-host set differs
+	PathChange     bool // traversed-edge set differs
+}
+
+// WhatIfFwdRule answers §I's pre-installation verification question: if
+// this forwarding rule were installed on the box, how would the probed
+// flows behave? The rule is applied to the live classifier (a real-time
+// tree update), the probes are evaluated, and the rule is rolled back, so
+// the data plane state is unchanged on return.
+//
+// Like the other rule-level operations, the caller must synchronize with
+// concurrent queries.
+func (c *Classifier) WhatIfFwdRule(box int, r rule.FwdRule, probes []FlowProbe) []BehaviorChange {
+	before := make([]*network.Behavior, len(probes))
+	for i, p := range probes {
+		before[i] = c.Behavior(p.Ingress, c.Dataset.PacketFromFields(p.Fields))
+	}
+	// Displace any existing rules with the same prefix (the hypothetical
+	// rule must win the LPM tie) and restore them afterwards.
+	var displaced []rule.FwdRule
+	for _, er := range c.Dataset.Boxes[box].Fwd.Rules {
+		if er.Prefix == r.Prefix {
+			displaced = append(displaced, er)
+		}
+	}
+	if len(displaced) > 0 {
+		c.RemoveFwdRule(box, r.Prefix)
+	}
+	c.AddFwdRule(box, r)
+
+	changes := make([]BehaviorChange, 0, len(probes))
+	for i, p := range probes {
+		after := c.Behavior(p.Ingress, c.Dataset.PacketFromFields(p.Fields))
+		ch := BehaviorChange{Probe: p, Before: before[i], After: after}
+		ch.DeliveryChange = !sameDeliveries(before[i], after)
+		ch.PathChange = !sameEdges(before[i], after)
+		if ch.DeliveryChange || ch.PathChange {
+			changes = append(changes, ch)
+		}
+	}
+
+	c.RemoveFwdRule(box, r.Prefix)
+	for _, er := range displaced {
+		c.AddFwdRule(box, er)
+	}
+	return changes
+}
+
+func sameDeliveries(a, b *network.Behavior) bool {
+	if len(a.Deliveries) != len(b.Deliveries) {
+		return false
+	}
+	count := map[string]int{}
+	for _, d := range a.Deliveries {
+		count[d.Host]++
+	}
+	for _, d := range b.Deliveries {
+		count[d.Host]--
+		if count[d.Host] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func sameEdges(a, b *network.Behavior) bool {
+	if len(a.Edges) != len(b.Edges) {
+		return false
+	}
+	type ek struct {
+		box, port int
+	}
+	count := map[ek]int{}
+	for _, e := range a.Edges {
+		count[ek{e.Box, e.Port}]++
+	}
+	for _, e := range b.Edges {
+		count[ek{e.Box, e.Port}]--
+		if count[ek{e.Box, e.Port}] < 0 {
+			return false
+		}
+	}
+	return true
+}
