@@ -1,0 +1,38 @@
+# Local mirrors of the CI gates (.github/workflows/ci.yml). `make check`
+# runs everything CI runs; the narrower targets exist for tight loops.
+
+GO ?= go
+
+# Packages whose concurrency contracts are exercised under the race
+# detector (Manager two-process operation, HTTP server, experiment
+# harness workers).
+RACE_PKGS := ./internal/aptree ./internal/server ./internal/experiments
+
+# Packages carrying apdebug-tagged sanitizer tests (post-GC BDD audits,
+# AP Tree leaf-partition checks).
+APDEBUG_PKGS := ./internal/bdd ./internal/aptree
+
+.PHONY: build test vet lint race apdebug check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Project-specific static analysis; see "Static analysis & sanitizers" in
+# README.md for the checks and the //lint:ignore suppression syntax.
+lint:
+	$(GO) run ./cmd/aplint ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+apdebug:
+	$(GO) test -tags apdebug $(APDEBUG_PKGS)
+
+check: build vet test lint race apdebug
+	@echo "all gates passed"

@@ -28,7 +28,10 @@ func main() {
 	flag.Parse()
 
 	if *scaleFlag != "" {
-		os.Setenv("APBENCH_SCALE", *scaleFlag)
+		if err := os.Setenv("APBENCH_SCALE", *scaleFlag); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 	scale := experiments.DefaultScale()
 

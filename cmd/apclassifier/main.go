@@ -49,7 +49,7 @@ func main() {
 			os.Exit(1)
 		}
 		ds, err = netgen.Read(f)
-		f.Close()
+		_ = f.Close() // read-only; parse errors are what matter
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "parse error:", err)
 			os.Exit(1)
@@ -78,7 +78,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		f.Close()
+		if err := f.Close(); err != nil { // written data may be lost on close failure
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		fmt.Printf("wrote %s: %d boxes, %d rules, %d ACL rules\n", *dump, len(ds.Boxes), ds.NumRules(), ds.NumACLRules())
 		return
 	}

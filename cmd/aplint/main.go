@@ -1,0 +1,81 @@
+// Command aplint runs the project's static-analysis suite (internal/lint)
+// over the module: invariants of the BDD/AP-Tree substrate that the
+// compiler cannot enforce, checked at every CI run.
+//
+// Usage:
+//
+//	aplint [-checks list] [-list] [./...]
+//
+// aplint loads every package of the enclosing module from source using only
+// the standard library tool chain, so it needs no network and no installed
+// dependencies. Exit status: 0 clean, 1 findings, 2 load or usage error.
+//
+// Findings are suppressed at the offending line with
+//
+//	//lint:ignore <check> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"apclassifier/internal/lint"
+)
+
+func main() {
+	checks := flag.String("checks", "all", "comma-separated analyzer names to run")
+	list := flag.Bool("list", false, "list available analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: aplint [-checks list] [-list] [./...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	// The only supported target is the enclosing module; accept "./..."
+	// (and no argument) for command-line symmetry with the go tool.
+	for _, arg := range flag.Args() {
+		if arg != "./..." && arg != "." {
+			fmt.Fprintf(os.Stderr, "aplint: unsupported pattern %q (aplint always lints the enclosing module; use ./...)\n", arg)
+			os.Exit(2)
+		}
+	}
+
+	analyzers, err := lint.ByName(*checks)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aplint: %v\n", err)
+		os.Exit(2)
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aplint: %v\n", err)
+		os.Exit(2)
+	}
+	root, err := lint.FindModuleRoot(wd)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aplint: %v\n", err)
+		os.Exit(2)
+	}
+	m, err := lint.LoadModule(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aplint: %v\n", err)
+		os.Exit(2)
+	}
+
+	diags := lint.Run(m, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "aplint: %d finding(s) in %d package(s)\n", len(diags), len(m.Pkgs))
+		os.Exit(1)
+	}
+}

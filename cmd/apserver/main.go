@@ -37,7 +37,7 @@ func main() {
 			fatal(ferr)
 		}
 		ds, err = netgen.Read(f)
-		f.Close()
+		_ = f.Close() // read-only; parse errors are what matter
 	case *netName == "internet2":
 		ds = netgen.Internet2Like(netgen.Config{Seed: *seed, RuleScale: *scale})
 	case *netName == "stanford":

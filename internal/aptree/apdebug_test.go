@@ -1,0 +1,58 @@
+//go:build apdebug
+
+// Debug-tagged wrappers: with -tags apdebug every Build and AddPredicate
+// already self-checks the leaf partition via debugCheckPartition; these
+// tests drive construction, live splicing and reconstruction through that
+// path and call CheckLeafPartition directly so failures surface as test
+// errors with context.
+package aptree
+
+import (
+	"math/rand"
+	"testing"
+
+	"apclassifier/internal/bdd"
+)
+
+func TestApdebugPartitionAllMethods(t *testing.T) {
+	if !Debug {
+		t.Fatal("apdebug build tag set but Debug is false")
+	}
+	for _, method := range []Method{MethodOrder, MethodRandom, MethodQuick, MethodOAPT} {
+		method := method
+		t.Run(method.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			d := bdd.New(16)
+			preds := randomPrefixPreds(d, 16, 16, rng)
+			tree := Build(buildInput(d, preds, rng), method)
+			if err := tree.CheckLeafPartition(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestApdebugPartitionSurvivesLiveUpdates(t *testing.T) {
+	m := NewManager(16, MethodQuick)
+	rng := rand.New(rand.NewSource(13))
+	var ids []int32
+	for i := 0; i < 12; i++ {
+		length := 1 + rng.Intn(8)
+		bits := uint64(rng.Uint32()) >> 16
+		id := m.AddPredicate(func(d *bdd.DD) bdd.Ref {
+			return d.FromPrefix(0, bits, length, 16)
+		})
+		ids = append(ids, id)
+	}
+	if err := m.Tree().CheckLeafPartition(); err != nil {
+		t.Fatal(err)
+	}
+	m.DeletePredicate(ids[3])
+	m.Reconstruct(false)
+	if err := m.Tree().CheckLeafPartition(); err != nil {
+		t.Fatalf("after reconstruct: %v", err)
+	}
+	if err := m.Tree().Validate(m.LiveIDs()); err != nil {
+		t.Fatalf("after reconstruct: %v", err)
+	}
+}

@@ -1,0 +1,16 @@
+//go:build apdebug
+
+package aptree
+
+// Debug reports whether the apdebug runtime sanitizers are compiled in.
+const Debug = true
+
+// debugCheckPartition panics if the tree's leaves stop being a partition
+// of the header space. It runs after Build and after every AddPredicate
+// splice, so the mutation that broke the partition is the one on the
+// stack. Only compiled under -tags apdebug.
+func (t *Tree) debugCheckPartition() {
+	if err := t.CheckLeafPartition(); err != nil {
+		panic("aptree: apdebug partition violation: " + err.Error())
+	}
+}

@@ -135,6 +135,7 @@ func Build(in Input, method Method) *Tree {
 		panic(fmt.Sprintf("aptree: unknown method %v", method))
 	}
 	t.nextAtom = int32(in.Atoms.N())
+	t.debugCheckPartition()
 	return t
 }
 

@@ -23,6 +23,7 @@ func (t *Tree) AddPredicate(id int32, p bdd.Ref) {
 	}
 	t.preds[id] = p
 	t.root = t.addRec(t.root, id, p)
+	t.debugCheckPartition()
 }
 
 func (t *Tree) addRec(n *Node, id int32, p bdd.Ref) *Node {

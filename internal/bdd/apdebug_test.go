@@ -1,0 +1,91 @@
+//go:build apdebug
+
+// Debug-tagged wrappers: with -tags apdebug every GC already self-checks
+// via debugAfterGC; these tests drive GC-heavy workloads through that path
+// and additionally call the checks directly so a failure reports through
+// the testing package rather than a panic.
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestApdebugGCAuditUnderChurn(t *testing.T) {
+	if !Debug {
+		t.Fatal("apdebug build tag set but Debug is false")
+	}
+	rng := rand.New(rand.NewSource(7))
+	d := New(24)
+	var kept []Ref
+	for round := 0; round < 6; round++ {
+		// Build a pile of random conjunctions, retain a few, drop the rest.
+		for i := 0; i < 40; i++ {
+			f := True
+			for j := 0; j < 6; j++ {
+				v := rng.Intn(24)
+				if rng.Intn(2) == 0 {
+					f = d.And(f, d.Var(v))
+				} else {
+					f = d.And(f, d.NVar(v))
+				}
+			}
+			if rng.Intn(4) == 0 && f > True {
+				d.Retain(f)
+				kept = append(kept, f)
+			}
+		}
+		// Release a random half of what we kept.
+		for i := 0; i < len(kept); {
+			if rng.Intn(2) == 0 {
+				d.Release(kept[i])
+				kept[i] = kept[len(kept)-1]
+				kept = kept[:len(kept)-1]
+			} else {
+				i++
+			}
+		}
+		d.GC() // debugAfterGC runs the sanitizers inside
+		if err := d.CheckInvariants(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if err := d.AuditAfterGC(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	// Drain the remaining roots; the final GC must leave only terminals.
+	for _, f := range kept {
+		d.Release(f)
+	}
+	d.GC()
+	if d.Size() != 2 {
+		t.Fatalf("after releasing all roots, %d nodes live, want 2 terminals", d.Size())
+	}
+	if err := d.AuditAfterGC(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApdebugAuditCountsSharedRoots(t *testing.T) {
+	d := New(8)
+	f := d.And(d.Var(0), d.Var(1))
+	d.Retain(f)
+	d.Retain(f) // double retain, single root entry with count 2
+	d.GC()
+	if err := d.AuditAfterGC(); err != nil {
+		t.Fatal(err)
+	}
+	d.Release(f)
+	d.GC()
+	if err := d.AuditAfterGC(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() == 2 {
+		t.Fatal("node freed while still retained once")
+	}
+	d.Release(f)
+	d.GC()
+	if d.Size() != 2 {
+		t.Fatalf("%d nodes live after final release, want 2", d.Size())
+	}
+}

@@ -552,12 +552,16 @@ func (d *DD) GC() int {
 	d.live -= freed
 	d.rehash(len(d.buckets))
 	d.cache.clear()
+	d.debugAfterGC()
 	return freed
 }
 
 // CheckInvariants verifies structural soundness of every live node: child
 // levels strictly greater than parent level, no node with identical
-// children, and unique-table canonicity. It is used by tests only.
+// children, unique-table canonicity (no structural duplicates), and
+// unique-table integrity (every live node findable through its hash
+// bucket, so mk cannot re-allocate it). It is used by tests and, under the
+// apdebug build tag, after every GC.
 func (d *DD) CheckInvariants() error {
 	type key struct {
 		level     int32
@@ -586,6 +590,64 @@ func (d *DD) CheckInvariants() error {
 			return fmt.Errorf("duplicate nodes %d and %d for %+v", prev, r, k)
 		}
 		seen[k] = r
+		b := hash3(n.level, n.low, n.high) & d.mask
+		found := false
+		for c := d.buckets[b]; c >= 0; c = d.next[c] {
+			if c == r {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("node %d missing from its unique-table bucket", r)
+		}
+	}
+	return nil
+}
+
+// AuditAfterGC cross-checks the root set against the node store right
+// after a garbage collection: every retained root must be a live node, no
+// freed slot may be reachable, and the number of nodes reachable from the
+// roots (plus the two terminals) must equal the live count — i.e. GC freed
+// exactly the garbage and nothing survives without a justifying root.
+// Between collections the audit does not hold (construction scratch is
+// live but unrooted), so call it only immediately after GC.
+func (d *DD) AuditAfterGC() error {
+	reach := make([]bool, len(d.nodes))
+	reach[False], reach[True] = true, true
+	var mark func(Ref) error
+	mark = func(f Ref) error {
+		if f < 0 || int(f) >= len(d.nodes) {
+			return fmt.Errorf("reachable ref %d out of range [0,%d)", f, len(d.nodes))
+		}
+		if reach[f] {
+			return nil
+		}
+		if d.nodes[f].level < 0 {
+			return fmt.Errorf("reachable node %d is freed", f)
+		}
+		reach[f] = true
+		if err := mark(d.nodes[f].low); err != nil {
+			return err
+		}
+		return mark(d.nodes[f].high)
+	}
+	for r, c := range d.roots {
+		if c <= 0 {
+			return fmt.Errorf("root %d has non-positive retain count %d", r, c)
+		}
+		if err := mark(r); err != nil {
+			return fmt.Errorf("root %d: %v", r, err)
+		}
+	}
+	n := 0
+	for _, ok := range reach {
+		if ok {
+			n++
+		}
+	}
+	if n != d.live {
+		return fmt.Errorf("%d live nodes but %d reachable from %d roots", d.live, n, len(d.roots))
 	}
 	return nil
 }

@@ -1,0 +1,9 @@
+//go:build !apdebug
+
+package bdd
+
+// Debug reports whether the apdebug runtime sanitizers are compiled in.
+// Build with -tags apdebug to enable invariant checking after every GC.
+const Debug = false
+
+func (d *DD) debugAfterGC() {}

@@ -1,0 +1,19 @@
+//go:build apdebug
+
+package bdd
+
+// Debug reports whether the apdebug runtime sanitizers are compiled in.
+const Debug = true
+
+// debugAfterGC runs the full structural invariant check and the
+// roots-vs-live audit after every collection, turning silent unique-table
+// or refcount corruption into an immediate panic at the GC that exposed
+// it. Only compiled under -tags apdebug; release builds pay nothing.
+func (d *DD) debugAfterGC() {
+	if err := d.CheckInvariants(); err != nil {
+		panic("bdd: apdebug invariant violation after GC: " + err.Error())
+	}
+	if err := d.AuditAfterGC(); err != nil {
+		panic("bdd: apdebug audit violation after GC: " + err.Error())
+	}
+}

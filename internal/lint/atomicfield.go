@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicField flags plain (non-atomic) accesses to struct fields that are
+// elsewhere accessed through sync/atomic. A field like aptree.Node.visits
+// is documented as "updated atomically"; one forgotten plain increment is a
+// data race the compiler happily accepts. The analyzer gathers, across the
+// whole module, every field whose address is passed to a sync/atomic
+// function, then reports every other selector access to those fields.
+// Writes through keyed composite literals are reported too.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "fields accessed via sync/atomic must never be read or written plainly",
+	Run:  runAtomicField,
+}
+
+func runAtomicField(m *Module, report Reporter) {
+	atomicFields := make(map[*types.Var]bool)
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+
+	// Pass 1: find &x.f arguments to sync/atomic calls.
+	for _, pkg := range m.Pkgs {
+		info := pkg.Info
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op.String() != "&" {
+						continue
+					}
+					sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					if s := info.Selections[sel]; s != nil && s.Kind() == types.FieldVal {
+						if v, ok := s.Obj().(*types.Var); ok {
+							atomicFields[v] = true
+							sanctioned[sel] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+
+	// Pass 2: every other access to those fields is a violation.
+	for _, pkg := range m.Pkgs {
+		info := pkg.Info
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SelectorExpr:
+					if sanctioned[n] {
+						return true
+					}
+					s := info.Selections[n]
+					if s == nil || s.Kind() != types.FieldVal {
+						return true
+					}
+					if v, ok := s.Obj().(*types.Var); ok && atomicFields[v] {
+						report(n.Sel.Pos(),
+							"field %s is accessed via sync/atomic elsewhere; plain access is a data race", v.Name())
+					}
+				case *ast.CompositeLit:
+					for _, elt := range n.Elts {
+						kv, ok := elt.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						key, ok := kv.Key.(*ast.Ident)
+						if !ok {
+							continue
+						}
+						if v, ok := info.Uses[key].(*types.Var); ok && v.IsField() && atomicFields[v] {
+							report(key.Pos(),
+								"field %s is accessed via sync/atomic elsewhere; composite-literal write bypasses it", v.Name())
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}

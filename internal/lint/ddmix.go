@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DDMix guards the cardinal BDD rule: a Ref is only meaningful together
+// with the DD that produced it. Within each function the analyzer tracks
+// which DD identifier produced each Ref-typed local (r := d.And(x, y)
+// marks r as owned by d) and reports Ref locals passed to a method of a
+// *different* DD identifier. bdd.Transfer, whose whole purpose is moving a
+// Ref between managers, is the sanctioned crossing point and resets
+// ownership to the destination DD.
+//
+// The check is an intraprocedural heuristic: Refs arriving through fields,
+// slices, or calls other than DD methods carry no owner and are never
+// flagged.
+var DDMix = &Analyzer{
+	Name: "ddmix",
+	Doc:  "a bdd.Ref produced by one DD must not be passed to a method of another DD",
+	Run:  runDDMix,
+}
+
+func runDDMix(m *Module, report Reporter) {
+	for _, pkg := range m.Pkgs {
+		funcBodies(pkg, func(fd *ast.FuncDecl) {
+			checkDDMix(pkg, fd, report)
+		})
+	}
+}
+
+// ddIdent resolves an expression to the object of a *bdd.DD identifier.
+func ddIdent(info *types.Info, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := info.Uses[id]
+	if obj == nil || !isDD(obj.Type()) {
+		return nil
+	}
+	return obj
+}
+
+func checkDDMix(pkg *Package, fd *ast.FuncDecl, report Reporter) {
+	info := pkg.Info
+	inFunc := func(v *types.Var) bool {
+		return v.Pos() >= fd.Pos() && v.Pos() <= fd.End()
+	}
+	owner := make(map[*types.Var]types.Object)
+
+	// producerDD identifies the DD that owns the result of a call: the
+	// receiver for DD methods, the destination manager for bdd.Transfer.
+	producerDD := func(call *ast.CallExpr) types.Object {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			fn := calleeFunc(info, call)
+			if fn == nil {
+				return nil
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && isDD(sig.Recv().Type()) {
+				return ddIdent(info, sel.X)
+			}
+			// bdd.Transfer(dst, src, ref): result lives in dst.
+			if fn.Name() == "Transfer" && fn.Pkg() != nil && len(call.Args) >= 1 {
+				if p := fn.Pkg().Path(); p == "bdd" || strings.HasSuffix(p, "/bdd") {
+					return ddIdent(info, call.Args[0])
+				}
+			}
+		}
+		return nil
+	}
+
+	// Walk statements in source order; ownership is last-write-wins.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				v := localVar(info, id, inFunc)
+				if v == nil || !isRef(v.Type()) {
+					continue
+				}
+				if call, ok := ast.Unparen(n.Rhs[i]).(*ast.CallExpr); ok {
+					if dd := producerDD(call); dd != nil {
+						owner[v] = dd
+						continue
+					}
+				}
+				delete(owner, v) // unknown producer: no claim
+			}
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, n)
+			if fn == nil {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil || !isDD(sig.Recv().Type()) {
+				return true
+			}
+			callDD := ddIdent(info, sel.X)
+			if callDD == nil {
+				return true
+			}
+			for _, arg := range n.Args {
+				v := localVar(info, arg, inFunc)
+				if v == nil || !isRef(v.Type()) {
+					continue
+				}
+				if own, ok := owner[v]; ok && own != callDD {
+					report(arg.Pos(),
+						"Ref %q was produced by DD %q but is passed to a method of DD %q; Refs are only valid in their own DD",
+						v.Name(), own.Name(), callDD.Name())
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop reports statement-position calls whose error result vanishes:
+// the call's results are discarded entirely while one of them is an error.
+// Assigning the error to blank (`_ = f()`) is treated as an explicit,
+// intentional discard and is not flagged, and test files are never loaded
+// by the module loader, so the check matches its spec of "outside tests".
+//
+// A small allowlist mirrors errcheck's defaults for calls whose error is
+// either unfailable or conventionally ignored: the fmt print family,
+// bytes.Buffer / strings.Builder writers, and Close calls inside defer.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "error results must be handled or explicitly discarded",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(m *Module, report Reporter) {
+	for _, pkg := range m.Pkgs {
+		info := pkg.Info
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ExprStmt:
+					if call, ok := n.X.(*ast.CallExpr); ok {
+						checkDroppedErr(info, call, false, report)
+					}
+				case *ast.GoStmt:
+					checkDroppedErr(info, n.Call, false, report)
+				case *ast.DeferStmt:
+					checkDroppedErr(info, n.Call, true, report)
+				}
+				return true
+			})
+		}
+	}
+}
+
+func checkDroppedErr(info *types.Info, call *ast.CallExpr, deferred bool, report Reporter) {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if !resultHasError(tv.Type) {
+		return
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return // function-typed variable or conversion; stay quiet
+	}
+	if allowlistedErrDrop(fn, deferred) {
+		return
+	}
+	report(call.Pos(), "error result of %s is discarded; handle it or assign to _", calleeName(fn))
+}
+
+func resultHasError(t types.Type) bool {
+	switch t := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func allowlistedErrDrop(fn *types.Func, deferred bool) bool {
+	if deferred && fn.Name() == "Close" {
+		return true
+	}
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	switch pkg.Path() {
+	case "fmt":
+		return strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")
+	case "bytes", "strings":
+		// (*bytes.Buffer) and (*strings.Builder) writes never fail.
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return true
+		}
+	case "math/rand", "math/rand/v2":
+		// (*rand.Rand).Read is documented to always return a nil error.
+		return fn.Name() == "Read"
+	}
+	return false
+}
+
+func calleeName(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}

@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current analyzer output")
+
+// moduleRoot locates the repository root from the package directory.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// runFixture loads one fixture package and returns the formatted diagnostics
+// of the given analyzers, with file names reduced to their base name so
+// goldens are machine-independent.
+func runFixture(t *testing.T, analyzers []*Analyzer, fixture string) []string {
+	t.Helper()
+	root := moduleRoot(t)
+	dir := filepath.Join("testdata", "src", fixture)
+	path := "apclassifier/internal/lint/testdata/src/" + strings.ReplaceAll(fixture, string(filepath.Separator), "/")
+	m, err := LoadDir(root, dir, path)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	var out []string
+	for _, d := range Run(m, analyzers) {
+		out = append(out, fmt.Sprintf("%s:%d:%d: [%s] %s",
+			filepath.Base(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Check, d.Message))
+	}
+	return out
+}
+
+// checkGolden compares got against the fixture's expect.golden file. An
+// absent golden file means no diagnostics are expected.
+func checkGolden(t *testing.T, fixture string, got []string) {
+	t.Helper()
+	golden := filepath.Join("testdata", "src", fixture, "expect.golden")
+	if *update {
+		if len(got) == 0 {
+			if err := os.Remove(golden); err != nil && !os.IsNotExist(err) {
+				t.Fatal(err)
+			}
+		} else if err := os.WriteFile(golden, []byte(strings.Join(got, "\n")+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	var want []string
+	if data, err := os.ReadFile(golden); err == nil {
+		for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+			if line != "" {
+				want = append(want, line)
+			}
+		}
+	} else if !os.IsNotExist(err) {
+		t.Fatal(err)
+	}
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("fixture %s: diagnostics mismatch\n got:\n  %s\nwant:\n  %s\n(re-run with -update to regenerate)",
+			fixture, strings.Join(got, "\n  "), strings.Join(want, "\n  "))
+	}
+}
+
+// fixtureCases pairs each analyzer with its bad and clean fixture packages.
+var fixtureCases = []struct {
+	analyzer *Analyzer
+	fixture  string
+	wantAny  bool // bad fixtures must produce at least one finding
+}{
+	{AtomicField, "atomicfield/bad", true},
+	{AtomicField, "atomicfield/clean", false},
+	{RetainRelease, "retainrelease/bad", true},
+	{RetainRelease, "retainrelease/clean", false},
+	{LockSafe, "locksafe/bad", true},
+	{LockSafe, "locksafe/clean", false},
+	{DDMix, "ddmix/bad", true},
+	{DDMix, "ddmix/clean", false},
+	{ErrDrop, "errdrop/bad", true},
+	{ErrDrop, "errdrop/clean", false},
+}
+
+func TestAnalyzerFixtures(t *testing.T) {
+	for _, tc := range fixtureCases {
+		t.Run(tc.fixture, func(t *testing.T) {
+			got := runFixture(t, []*Analyzer{tc.analyzer}, tc.fixture)
+			if tc.wantAny && len(got) == 0 {
+				t.Fatalf("bad fixture %s produced no findings", tc.fixture)
+			}
+			if !tc.wantAny && len(got) != 0 {
+				t.Fatalf("clean fixture %s produced findings:\n  %s", tc.fixture, strings.Join(got, "\n  "))
+			}
+			checkGolden(t, tc.fixture, got)
+		})
+	}
+}
+
+// TestIgnoreDirective checks the suppression mechanism: trailing and
+// line-above directives silence findings, malformed directives are
+// themselves reported, and everything else survives.
+func TestIgnoreDirective(t *testing.T) {
+	got := runFixture(t, []*Analyzer{ErrDrop}, "ignore")
+	checkGolden(t, "ignore", got)
+	joined := strings.Join(got, "\n")
+	if strings.Contains(joined, "/tmp/a") || strings.Contains(joined, "/tmp/b") {
+		t.Errorf("suppressed findings leaked:\n%s", joined)
+	}
+	if !strings.Contains(joined, "[directive]") {
+		t.Errorf("malformed directive not reported:\n%s", joined)
+	}
+	if !strings.Contains(joined, "ignore.go:24") {
+		t.Errorf("unsuppressed finding missing:\n%s", joined)
+	}
+}
+
+// TestBuildTagExclusion checks that files constrained to custom build tags
+// (like the apdebug sanitizer layer) are not loaded or analyzed.
+func TestBuildTagExclusion(t *testing.T) {
+	got := runFixture(t, All(), "tagged")
+	if len(got) != 0 {
+		t.Fatalf("tag-gated file was analyzed:\n  %s", strings.Join(got, "\n  "))
+	}
+}
+
+// TestModuleIsClean is the gate that keeps the repository itself passing
+// aplint: the full analyzer suite over the whole module must report
+// nothing. This runs under plain `go test ./...`, so tier-1 CI enforces it
+// without invoking the CLI.
+func TestModuleIsClean(t *testing.T) {
+	m, err := LoadModule(moduleRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Pkgs) < 10 {
+		t.Fatalf("loader found only %d packages; module walk is broken", len(m.Pkgs))
+	}
+	diags := Run(m, All())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestByName covers analyzer selection.
+func TestByName(t *testing.T) {
+	all, err := ByName("all")
+	if err != nil || len(all) != len(All()) {
+		t.Fatalf("ByName(all) = %d analyzers, err %v", len(all), err)
+	}
+	two, err := ByName("errdrop, locksafe")
+	if err != nil || len(two) != 2 {
+		t.Fatalf("ByName pair = %v, err %v", two, err)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Fatal("ByName(nosuch) should fail")
+	}
+}

@@ -1,0 +1,213 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockSafe enforces two mutex disciplines:
+//
+//  1. No lock-bearing value is copied. Copying a struct that contains a
+//     sync.Mutex or sync.RWMutex (directly or transitively) duplicates
+//     lock state; the copy's mutex no longer guards anything. Flagged at
+//     assignments, value arguments, and range clauses.
+//
+//  2. Every Lock()/RLock() statement is followed, in the same block, by a
+//     deferred or direct matching Unlock()/RUnlock() on the same receiver
+//     path, with no return, break, continue or goto able to leave the
+//     block in between. This catches the early-return-while-locked bug
+//     that deadlocks the next caller.
+//
+// Paths are matched textually ("m.mu"), which is exact for the idiomatic
+// receiver.field spelling used throughout this module.
+var LockSafe = &Analyzer{
+	Name: "locksafe",
+	Doc:  "no copying of lock-bearing values; Lock must pair with Unlock on every path",
+	Run:  runLockSafe,
+}
+
+func runLockSafe(m *Module, report Reporter) {
+	for _, pkg := range m.Pkgs {
+		checkLockCopies(pkg, report)
+		funcBodies(pkg, func(fd *ast.FuncDecl) {
+			checkLockPairing(pkg, fd, report)
+		})
+	}
+}
+
+// copyableLockValue reports whether e denotes an existing lock-bearing
+// value that the surrounding context would copy. Fresh values (composite
+// literals, function results) are excluded: constructing them is fine,
+// duplicating a live one is not.
+func copyableLockValue(info *types.Info, e ast.Expr) bool {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return false
+	}
+	tv, ok := info.Types[ast.Unparen(e)]
+	return ok && tv.Type != nil && containsLock(tv.Type)
+}
+
+func checkLockCopies(pkg *Package, report Reporter) {
+	info := pkg.Info
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for _, rhs := range n.Rhs {
+					if copyableLockValue(info, rhs) {
+						report(rhs.Pos(), "assignment copies a value containing a sync lock")
+					}
+				}
+			case *ast.ValueSpec:
+				for _, v := range n.Values {
+					if copyableLockValue(info, v) {
+						report(v.Pos(), "variable initialization copies a value containing a sync lock")
+					}
+				}
+			case *ast.CallExpr:
+				if tv, ok := info.Types[n.Fun]; ok && tv.IsType() {
+					return true // conversion, not a call
+				}
+				for _, arg := range n.Args {
+					if copyableLockValue(info, arg) {
+						report(arg.Pos(), "call passes a value containing a sync lock by value")
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					if tv, ok := info.Types[n.Value]; ok && tv.Type != nil && containsLock(tv.Type) {
+						report(n.Value.Pos(), "range clause copies values containing a sync lock")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// syncLockCall matches an expression-statement or deferred call to a
+// sync.Mutex/RWMutex method with the given name set, returning the textual
+// receiver path.
+func syncLockCall(info *types.Info, call *ast.CallExpr, names ...string) (path, method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	for _, name := range names {
+		if fn.Name() == name {
+			p := pathString(sel.X)
+			if p == "" {
+				return "", "", false
+			}
+			return p, name, true
+		}
+	}
+	return "", "", false
+}
+
+var unlockFor = map[string]string{"Lock": "Unlock", "RLock": "RUnlock"}
+
+func checkLockPairing(pkg *Package, fd *ast.FuncDecl, report Reporter) {
+	info := pkg.Info
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for i, stmt := range block.List {
+			es, ok := stmt.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			path, method, ok := syncLockCall(info, call, "Lock", "RLock")
+			if !ok {
+				continue
+			}
+			checkLockedRegion(info, block.List[i+1:], call.Pos(), path, unlockFor[method], report)
+		}
+		return true
+	})
+}
+
+// checkLockedRegion scans the statements after a Lock for the matching
+// unlock and reports paths that can leave the block while still locked.
+func checkLockedRegion(info *types.Info, rest []ast.Stmt, lockPos token.Pos, path, unlock string, report Reporter) {
+	for _, stmt := range rest {
+		switch s := stmt.(type) {
+		case *ast.DeferStmt:
+			if p, _, ok := syncLockCall(info, s.Call, unlock); ok && p == path {
+				return // protected from here on; earlier statements were checked below
+			}
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if p, _, ok := syncLockCall(info, call, unlock); ok && p == path {
+					return
+				}
+			}
+		case *ast.ReturnStmt, *ast.BranchStmt:
+			report(lockPos, "%s held at %s; add %s.%s() before leaving the block or defer it", path, describeExit(stmt), path, unlock)
+			return
+		}
+		// A nested statement that can return while the lock is held and
+		// does not itself unlock is an early-exit leak.
+		if escapes, pos := returnsWithoutUnlock(info, stmt, path, unlock); escapes {
+			report(pos, "early exit with %s still locked; no %s.%s() on this path", path, path, unlock)
+			return
+		}
+	}
+	report(lockPos, "%s.%s() is not paired with %s.%s() in this block", path, lockFor(unlock), path, unlock)
+}
+
+func lockFor(unlock string) string {
+	if unlock == "RUnlock" {
+		return "RLock"
+	}
+	return "Lock"
+}
+
+func describeExit(s ast.Stmt) string {
+	if b, ok := s.(*ast.BranchStmt); ok {
+		return b.Tok.String() + " statement"
+	}
+	return "return statement"
+}
+
+// returnsWithoutUnlock reports whether stmt contains (outside nested
+// function literals) a return statement, while containing no matching
+// unlock call.
+func returnsWithoutUnlock(info *types.Info, stmt ast.Stmt, path, unlock string) (bool, token.Pos) {
+	var retPos token.Pos
+	hasReturn := false
+	hasUnlock := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			if !hasReturn {
+				retPos = n.Pos()
+			}
+			hasReturn = true
+		case *ast.CallExpr:
+			if p, _, ok := syncLockCall(info, n, unlock); ok && p == path {
+				hasUnlock = true
+			}
+		}
+		return true
+	})
+	return hasReturn && !hasUnlock, retPos
+}

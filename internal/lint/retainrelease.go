@@ -1,0 +1,235 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// RetainRelease audits the bdd.DD reference-counting discipline inside each
+// function: a Ref retained into a local variable that never escapes the
+// function (is not returned, stored, or handed to another function) must be
+// released before the function ends — otherwise the node is pinned for the
+// DD's lifetime. Conversely, releasing a local Ref that was conjured from a
+// constant and never retained will panic at runtime ("Release of
+// unretained node"); the analyzer reports it statically.
+//
+// The escape rules are deliberately conservative: any use of the variable
+// in a return statement, composite literal, assignment right-hand side,
+// address-of, channel send, or as an argument to anything other than
+// Retain/Release counts as an escape and silences the leak check, because
+// ownership may have been transferred.
+var RetainRelease = &Analyzer{
+	Name: "retainrelease",
+	Doc:  "DD.Retain of a non-escaping local needs a matching Release; Release needs a prior Retain",
+	Run:  runRetainRelease,
+}
+
+func runRetainRelease(m *Module, report Reporter) {
+	for _, pkg := range m.Pkgs {
+		funcBodies(pkg, func(fd *ast.FuncDecl) {
+			checkRetainRelease(pkg, fd, report)
+		})
+	}
+}
+
+func checkRetainRelease(pkg *Package, fd *ast.FuncDecl, report Reporter) {
+	info := pkg.Info
+	inFunc := func(v *types.Var) bool {
+		return v.Pos() >= fd.Pos() && v.Pos() <= fd.End()
+	}
+
+	type retainSite struct {
+		v   *types.Var
+		pos token.Pos
+	}
+	var retains []retainSite
+	retained := make(map[*types.Var]bool)
+	released := make(map[*types.Var]bool)
+	type releaseSite struct {
+		v   *types.Var
+		pos token.Pos
+	}
+	var releases []releaseSite
+
+	// refCalls maps the CallExpr nodes of Retain/Release so escape analysis
+	// can exempt their direct arguments.
+	refCalls := make(map[*ast.CallExpr]bool)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if _, ok := isBDDMethod(info, call, "Retain"); ok && len(call.Args) == 1 {
+			refCalls[call] = true
+			if v := localVar(info, call.Args[0], inFunc); v != nil {
+				retains = append(retains, retainSite{v, call.Pos()})
+				retained[v] = true
+			}
+		}
+		if _, ok := isBDDMethod(info, call, "Release"); ok && len(call.Args) == 1 {
+			refCalls[call] = true
+			if v := localVar(info, call.Args[0], inFunc); v != nil {
+				released[v] = true
+				releases = append(releases, releaseSite{v, call.Pos()})
+			}
+		}
+		return true
+	})
+	if len(retains) == 0 && len(releases) == 0 {
+		return
+	}
+
+	escaped := escapedVars(info, fd.Body, refCalls, inFunc)
+
+	for _, r := range retains {
+		if !released[r.v] && !escaped[r.v] {
+			report(r.pos, "Ref retained into %q is never released in this function and does not escape", r.v.Name())
+		}
+	}
+
+	// Release-without-Retain: only when every definition of the variable is
+	// a constant expression, so the value provably never went through
+	// Retain (directly or via an aliasing producer).
+	litOnly := literalOnlyVars(info, fd.Body, inFunc)
+	for _, r := range releases {
+		if !retained[r.v] && litOnly[r.v] {
+			report(r.pos, "Release of %q, which holds a constant Ref never retained in this scope", r.v.Name())
+		}
+	}
+}
+
+// escapedVars walks body and returns the set of local Ref variables whose
+// value may outlive the function or be stored by a callee.
+func escapedVars(info *types.Info, body *ast.BlockStmt, refCalls map[*ast.CallExpr]bool, inFunc func(*types.Var) bool) map[*types.Var]bool {
+	escaped := make(map[*types.Var]bool)
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if v := localVar(info, id, inFunc); v != nil && isRef(v.Type()) {
+				if escapesAt(stack, id, refCalls) {
+					escaped[v] = true
+				}
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return escaped
+}
+
+// escapesAt climbs the ancestor stack of an identifier use and decides
+// whether that use lets the value escape.
+func escapesAt(stack []ast.Node, id *ast.Ident, refCalls map[*ast.CallExpr]bool) bool {
+	child := ast.Node(id)
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.ReturnStmt, *ast.CompositeLit, *ast.SendStmt:
+			return true
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				return true
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				if containsNode(rhs, child) {
+					return true
+				}
+			}
+			return false
+		case *ast.CallExpr:
+			if containsNode(n.Fun, child) {
+				return false // receiver or conversion target, not an argument
+			}
+			if refCalls[n] {
+				// Direct argument of Retain/Release: accounted for by the
+				// retain/release bookkeeping, not an escape.
+				for _, a := range n.Args {
+					if ast.Unparen(a) == child || a == child {
+						return false
+					}
+				}
+			}
+			return true
+		case *ast.BlockStmt, *ast.ExprStmt, *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt,
+			*ast.SwitchStmt, *ast.CaseClause, *ast.TypeSwitchStmt:
+			return false
+		}
+		child = stack[i]
+	}
+	return false
+}
+
+// containsNode reports whether sub occurs within root.
+func containsNode(root, sub ast.Node) bool {
+	if root == nil || sub == nil {
+		return false
+	}
+	return root.Pos() <= sub.Pos() && sub.End() <= root.End()
+}
+
+// literalOnlyVars returns the local Ref variables every one of whose
+// initializers/assignments is a constant expression (basic literal or a
+// conversion of one), meaning the value cannot alias a retained node.
+func literalOnlyVars(info *types.Info, body *ast.BlockStmt, inFunc func(*types.Var) bool) map[*types.Var]bool {
+	status := make(map[*types.Var]int) // 1 = all literal so far, 2 = tainted
+	note := func(e ast.Expr, v *types.Var) {
+		if v == nil || !isRef(v.Type()) {
+			return
+		}
+		if isConstExpr(info, e) {
+			if status[v] == 0 {
+				status[v] = 1
+			}
+		} else {
+			status[v] = 2
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, lhs := range n.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					note(n.Rhs[i], localVar(info, id, inFunc))
+				}
+			} else {
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						if v := localVar(info, id, inFunc); v != nil && isRef(v.Type()) {
+							status[v] = 2
+						}
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if i < len(n.Values) {
+					note(n.Values[i], localVar(info, name, inFunc))
+				}
+			}
+		}
+		return true
+	})
+	out := make(map[*types.Var]bool)
+	for v, s := range status {
+		if s == 1 {
+			out[v] = true
+		}
+	}
+	return out
+}
+
+// isConstExpr reports whether e has a known constant value.
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}

@@ -1,0 +1,23 @@
+// Package bad seeds atomicfield violations: the hits field is updated via
+// sync/atomic in Touch but read plainly in Snapshot and written through a
+// composite literal in Fresh.
+package bad
+
+import "sync/atomic"
+
+type counter struct {
+	hits uint64
+	name string
+}
+
+func (c *counter) Touch() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func (c *counter) Snapshot() uint64 {
+	return c.hits // plain read of an atomic field
+}
+
+func Fresh() *counter {
+	return &counter{hits: 1, name: "seeded"} // plain composite-literal write
+}

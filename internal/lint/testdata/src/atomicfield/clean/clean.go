@@ -1,0 +1,24 @@
+// Package clean uses sync/atomic consistently: every access to hits goes
+// through atomic operations, and other fields stay unrestricted.
+package clean
+
+import "sync/atomic"
+
+type counter struct {
+	hits uint64
+	name string
+}
+
+func (c *counter) Touch() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func (c *counter) Snapshot() uint64 {
+	return atomic.LoadUint64(&c.hits)
+}
+
+func (c *counter) Reset() {
+	atomic.StoreUint64(&c.hits, 0)
+}
+
+func (c *counter) Name() string { return c.name }

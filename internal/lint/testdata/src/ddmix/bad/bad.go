@@ -1,0 +1,16 @@
+// Package bad seeds a ddmix violation: a Ref produced by DD a is handed to
+// a method of DD b without going through bdd.Transfer.
+package bad
+
+import "apclassifier/internal/bdd"
+
+func mix(a, b *bdd.DD) {
+	x := a.Var(1)
+	_ = b.Not(x) // x belongs to a
+}
+
+func mixBinary(a, b *bdd.DD) {
+	x := a.Var(1)
+	y := b.Var(2)
+	_ = b.And(x, y) // x belongs to a, y is fine
+}

@@ -1,0 +1,23 @@
+// Package clean keeps every Ref with its producing DD and crosses managers
+// only through bdd.Transfer, the sanctioned path.
+package clean
+
+import "apclassifier/internal/bdd"
+
+func sameDD(a *bdd.DD) bdd.Ref {
+	x := a.Var(1)
+	y := a.Not(x)
+	return a.And(x, y)
+}
+
+func transferred(a, b *bdd.DD) bdd.Ref {
+	x := a.Var(1)
+	z := bdd.Transfer(b, a, x) // z now belongs to b
+	return b.Not(z)
+}
+
+func reassigned(a, b *bdd.DD) bdd.Ref {
+	x := a.Var(1)
+	x = b.Var(2) // ownership moves with the assignment
+	return b.Not(x)
+}

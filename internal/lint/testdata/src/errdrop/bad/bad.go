@@ -1,0 +1,17 @@
+// Package bad seeds errdrop violations: statement-position calls whose
+// error results silently vanish.
+package bad
+
+import "os"
+
+func dropRemove() {
+	os.Remove("/tmp/aplint-fixture") // error discarded
+}
+
+func dropInGoroutine() {
+	go os.Remove("/tmp/aplint-fixture") // error discarded in goroutine
+}
+
+func dropClose(f *os.File) {
+	f.Close() // non-deferred Close, error discarded
+}

@@ -1,0 +1,27 @@
+// Package clean handles or explicitly discards every error, and exercises
+// the allowlist: fmt printing, builder writes, deferred Close.
+package clean
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func handled() error {
+	if err := os.Remove("/tmp/aplint-fixture"); err != nil {
+		return err
+	}
+	return nil
+}
+
+func explicitDiscard() {
+	_ = os.Remove("/tmp/aplint-fixture")
+}
+
+func allowlisted(f *os.File) {
+	defer f.Close()
+	var b strings.Builder
+	b.WriteString("hello")
+	fmt.Println(b.String())
+}

@@ -1,0 +1,25 @@
+// Package ignore exercises the suppression directive: one finding is
+// suppressed by a trailing directive, one by a directive on the line
+// above, one directive is malformed (missing the reason), and one finding
+// survives.
+package ignore
+
+import "os"
+
+func suppressedTrailing() {
+	os.Remove("/tmp/a") //lint:ignore errdrop fixture demonstrates trailing suppression
+}
+
+func suppressedAbove() {
+	//lint:ignore errdrop fixture demonstrates suppression from the line above
+	os.Remove("/tmp/b")
+}
+
+func malformedDirective() {
+	//lint:ignore errdrop
+	os.Remove("/tmp/c")
+}
+
+func survives() {
+	os.Remove("/tmp/d") // no directive: reported
+}

@@ -1,0 +1,35 @@
+// Package bad seeds locksafe violations: copying a lock-bearing struct,
+// returning with the mutex held, and locking without any unlock.
+package bad
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func copyByDeref(g *guarded) int {
+	h := *g // copies g.mu
+	return h.n
+}
+
+func copyByArg(g *guarded) {
+	sink(*g) // passes the lock by value
+}
+
+func sink(guarded) {}
+
+func earlyReturn(g *guarded) int {
+	g.mu.Lock()
+	if g.n > 0 {
+		return g.n // leaves with the lock held
+	}
+	g.mu.Unlock()
+	return 0
+}
+
+func neverUnlocked(g *guarded) {
+	g.mu.Lock()
+	g.n++
+}

@@ -1,0 +1,45 @@
+// Package clean shows the sanctioned locking shapes: defer directly after
+// Lock, straight-line Lock/Unlock pairing, branches that unlock before
+// returning, and read-locking with RUnlock.
+package clean
+
+import "sync"
+
+type guarded struct {
+	mu sync.RWMutex
+	n  int
+}
+
+func deferred(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n++
+	return g.n
+}
+
+func straightLine(g *guarded) {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+func branchUnlocks(g *guarded) int {
+	g.mu.Lock()
+	if g.n > 0 {
+		g.mu.Unlock()
+		return 1
+	}
+	g.mu.Unlock()
+	return 0
+}
+
+func readLocked(g *guarded) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.n
+}
+
+func viaPointer(g *guarded) *guarded {
+	h := g // copying the pointer is fine
+	return h
+}

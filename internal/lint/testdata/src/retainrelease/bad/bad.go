@@ -1,0 +1,19 @@
+// Package bad seeds retainrelease violations: a retained local that never
+// escapes or gets released, and a Release of a constant Ref that was never
+// retained (a guaranteed runtime panic).
+package bad
+
+import "apclassifier/internal/bdd"
+
+func leak(d *bdd.DD) {
+	r := d.Var(1)
+	d.Retain(r) // never released, never escapes
+	if r == bdd.False {
+		println("impossible")
+	}
+}
+
+func releaseUnretained(d *bdd.DD) {
+	r := bdd.Ref(7)
+	d.Release(r) // never retained in this scope
+}

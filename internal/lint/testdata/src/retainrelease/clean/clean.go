@@ -1,0 +1,36 @@
+// Package clean shows the sanctioned Retain/Release shapes: balanced
+// retain/deferred release, and ownership transfer by returning or storing
+// the retained Ref.
+package clean
+
+import "apclassifier/internal/bdd"
+
+type holder struct {
+	d   *bdd.DD
+	ref bdd.Ref
+}
+
+func balanced(d *bdd.DD) {
+	r := d.Var(2)
+	d.Retain(r)
+	defer d.Release(r)
+	if r == bdd.False {
+		println("impossible")
+	}
+}
+
+func handoff(d *bdd.DD) bdd.Ref {
+	r := d.Var(3)
+	d.Retain(r)
+	return r // ownership transfers to the caller
+}
+
+func store(d *bdd.DD) *holder {
+	r := d.Var(4)
+	d.Retain(r)
+	return &holder{d: d, ref: r} // ownership transfers to the holder
+}
+
+func (h *holder) drop() {
+	h.d.Release(h.ref) // field refs carry no local claim
+}

@@ -1,0 +1,7 @@
+// Package tagged checks build-constraint handling in the loader: the
+// sibling file is gated behind the apdebug tag and contains a seeded
+// errdrop violation, so any finding from this package means the loader
+// ignored the constraint.
+package tagged
+
+func Touch() error { return nil }

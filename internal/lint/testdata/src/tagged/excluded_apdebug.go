@@ -1,0 +1,9 @@
+//go:build apdebug
+
+package tagged
+
+import "os"
+
+func debugOnly() {
+	os.Remove("/tmp/aplint-tagged") // errdrop bait: must never be analyzed
+}

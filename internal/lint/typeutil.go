@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// bddTypeName reports whether t (after stripping pointers) is the named
+// type name declared in this module's bdd package. Matching is by package
+// path suffix so the analyzers also work on fixture packages that import
+// the real package.
+func bddTypeName(t types.Type, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	p := obj.Pkg().Path()
+	return p == "bdd" || strings.HasSuffix(p, "/bdd")
+}
+
+// isDD reports whether t is bdd.DD or *bdd.DD.
+func isDD(t types.Type) bool { return bddTypeName(t, "DD") }
+
+// isRef reports whether t is bdd.Ref.
+func isRef(t types.Type) bool { return bddTypeName(t, "Ref") }
+
+// isSyncLock reports whether t is exactly sync.Mutex or sync.RWMutex.
+func isSyncLock(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// containsLock reports whether a value of type t embeds a sync.Mutex or
+// sync.RWMutex anywhere (directly, in a struct field, or in an array), so
+// that copying the value would copy lock state.
+func containsLock(t types.Type) bool {
+	return lockIn(t, make(map[types.Type]bool))
+}
+
+func lockIn(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if isSyncLock(t) {
+		return true
+	}
+	switch t := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if lockIn(t.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return lockIn(t.Elem(), seen)
+	}
+	return false
+}
+
+// calleeFunc resolves the called function or method object of call, or nil
+// for calls through function-typed variables and type conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// isBDDMethod reports whether call invokes the bdd.DD method with the given
+// name, and returns the receiver expression when it does.
+func isBDDMethod(info *types.Info, call *ast.CallExpr, name string) (ast.Expr, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Name() != name {
+		return nil, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !isDD(sig.Recv().Type()) {
+		return nil, false
+	}
+	return sel.X, true
+}
+
+// funcBodies invokes fn for every function or method declaration with a
+// body in the package. Function literals are visited as part of their
+// enclosing declaration's body, which is what the intraprocedural checks
+// want: a deferred closure releasing a lock still belongs to the function
+// that took it.
+func funcBodies(pkg *Package, fn func(decl *ast.FuncDecl)) {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd)
+			}
+		}
+	}
+}
+
+// localVar returns the *types.Var for an identifier naming a function-local
+// variable (not a field, package-level var, or parameter unless
+// includeParams), or nil.
+func localVar(info *types.Info, e ast.Expr, scopeOf func(*types.Var) bool) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok {
+		if v, ok = info.Defs[id].(*types.Var); !ok {
+			return nil
+		}
+	}
+	if v.IsField() || !scopeOf(v) {
+		return nil
+	}
+	return v
+}

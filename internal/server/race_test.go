@@ -1,0 +1,105 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentQueriesAndUpdates hammers the HTTP API from many
+// goroutines at once: behavior queries, rule installs/removals,
+// reconstructions and stats reads all interleave. The server serializes on
+// one mutex; under -race this test proves no handler leaks state outside
+// it.
+func TestConcurrentQueriesAndUpdates(t *testing.T) {
+	ts, ds := testServer(t)
+	const (
+		workers          = 6
+		requestsPerGorou = 40
+	)
+	boxName := ds.Boxes[0].Name
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*requestsPerGorou)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < requestsPerGorou; i++ {
+				switch rng.Intn(5) {
+				case 0: // stats
+					var stats StatsResponse
+					if code := getJSON(t, ts.URL+"/stats", &stats); code != 200 {
+						errs <- fmt.Errorf("stats status %d", code)
+						return
+					}
+				case 1: // rule install on a private prefix per worker
+					prefix := fmt.Sprintf("203.%d.%d.0/24", seed, i%250)
+					code := postJSON(t, ts.URL+"/rules/add", RuleRequest{
+						Box: boxName, Prefix: prefix, Port: 0,
+					}, nil)
+					if code != 200 {
+						errs <- fmt.Errorf("rules/add status %d", code)
+						return
+					}
+				case 2: // rule removal (may 404 if not yet added; both are fine)
+					prefix := fmt.Sprintf("203.%d.%d.0/24", seed, rng.Intn(250))
+					code := postJSON(t, ts.URL+"/rules/remove", RuleRequest{
+						Box: boxName, Prefix: prefix,
+					}, nil)
+					if code != 200 && code != 404 {
+						errs <- fmt.Errorf("rules/remove status %d", code)
+						return
+					}
+				case 3: // reconstruction racing the queries
+					code := postJSON(t, ts.URL+"/reconstruct",
+						map[string]bool{"weighted": rng.Intn(2) == 0}, nil)
+					if code != 200 {
+						errs <- fmt.Errorf("reconstruct status %d", code)
+						return
+					}
+				default: // behavior query
+					f := ds.RandomFields(rng)
+					var resp QueryResponse
+					code := postJSON(t, ts.URL+"/query", QueryRequest{
+						Ingress: ds.Boxes[rng.Intn(len(ds.Boxes))].Name,
+						Dst:     dotted(f.Dst),
+						Src:     dotted(f.Src),
+						SrcPort: f.SrcPort,
+						DstPort: f.DstPort,
+						Proto:   f.Proto,
+					}, &resp)
+					if code != 200 {
+						errs <- fmt.Errorf("query status %d", code)
+						return
+					}
+					if resp.Atom < 0 {
+						errs <- fmt.Errorf("query returned atom %d", resp.Atom)
+						return
+					}
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// The classifier must still answer coherently after the storm.
+	var stats StatsResponse
+	if code := getJSON(t, ts.URL+"/stats", &stats); code != http.StatusOK {
+		t.Fatalf("final stats status %d", code)
+	}
+	if stats.Atoms == 0 || stats.Predicates == 0 {
+		t.Fatalf("classifier degenerated: %+v", stats)
+	}
+}
+
+func dotted(ip uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+}

@@ -60,7 +60,9 @@ func (s *Server) Handler() http.Handler {
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
+	// The status line is already on the wire; an encode failure here means
+	// the client went away and there is nothing left to report to it.
+	_ = json.NewEncoder(w).Encode(v)
 }
 
 func writeErr(w http.ResponseWriter, status int, format string, args ...interface{}) {
@@ -222,6 +224,7 @@ func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		Weighted bool `json:"weighted"`
 	}
+	//lint:ignore errdrop an absent or malformed body legitimately means unweighted
 	json.NewDecoder(r.Body).Decode(&req) // empty body = unweighted
 	s.mu.Lock()
 	defer s.mu.Unlock()
