@@ -4,15 +4,22 @@
 GO ?= go
 
 # Packages whose concurrency contracts are exercised under the race
-# detector (Manager two-process operation, HTTP server, experiment
-# harness workers).
-RACE_PKGS := ./internal/aptree ./internal/server ./internal/experiments
+# detector (snapshot query path at the facade, Manager two-process
+# operation, frozen BDD views, HTTP server, experiment harness workers).
+RACE_PKGS := . ./internal/aptree ./internal/bdd ./internal/server ./internal/experiments
 
 # Packages carrying apdebug-tagged sanitizer tests (post-GC BDD audits,
 # AP Tree leaf-partition checks).
 APDEBUG_PKGS := ./internal/bdd ./internal/aptree
 
-.PHONY: build test vet lint race apdebug check
+# Benchmarks exercised by bench-smoke: the lock-free snapshot query path,
+# serial and parallel, plus the mixed query/update workload. A fixed
+# -benchtime keeps the step fast; it is a non-regression smoke (the
+# benchmarks must run and the parallel path must stay race-clean), not a
+# performance gate — numbers live in EXPERIMENTS.md.
+BENCH_SMOKE := ^(BenchmarkManagerClassify|BenchmarkParallelClassify|BenchmarkParallelClassifyWithUpdates)$$
+
+.PHONY: build test vet lint race apdebug bench-smoke check
 
 build:
 	$(GO) build ./...
@@ -34,5 +41,8 @@ race:
 apdebug:
 	$(GO) test -tags apdebug $(APDEBUG_PKGS)
 
-check: build vet test lint race apdebug
+bench-smoke:
+	$(GO) test -run '^$$' -bench '$(BENCH_SMOKE)' -benchtime 200x -cpu 1,4 ./internal/aptree
+
+check: build vet test lint race apdebug bench-smoke
 	@echo "all gates passed"

@@ -155,6 +155,12 @@ func New(ds *netgen.Dataset, opts Options) (*Classifier, error) {
 		Atoms:   atoms,
 		Weights: opts.Weights,
 	}, opts.Method)
+	// Reclaim conversion scratch before the manager publishes its first
+	// snapshot: once a frozen view of the DD is out, the DD must never be
+	// garbage collected again (the GC-at-swap rule; see bdd.View).
+	if !opts.SkipGC {
+		d.GC()
+	}
 	c.Manager = aptree.NewManagerWith(d, reg, tree, opts.Method)
 
 	// Topology.
@@ -179,14 +185,7 @@ func New(ds *netgen.Dataset, opts Options) (*Classifier, error) {
 		c.Net.AttachHost(h.Box, h.Port, h.Name)
 	}
 
-	c.env = &network.Env{
-		Classify: c.Manager.Classify,
-		Version:  c.Manager.Version,
-		IsLive:   c.Manager.IsLive,
-	}
-	if !opts.SkipGC {
-		d.GC()
-	}
+	c.env = &network.Env{Source: c.Manager}
 	return c, nil
 }
 
@@ -223,17 +222,20 @@ func (c *Classifier) TreeInput() aptree.Input {
 }
 
 // Classify runs stage 1: it returns the AP Tree leaf (atomic predicate)
-// for the packet.
+// for the packet. It acquires no lock.
 func (c *Classifier) Classify(pkt header.Packet) *aptree.Node {
 	leaf, _ := c.Manager.Classify(pkt)
 	return leaf
 }
 
 // Behavior runs both stages: it classifies the packet and computes its
-// network-wide behavior from the given ingress box.
+// network-wide behavior from the given ingress box. The whole query is
+// pinned to one snapshot epoch and acquires no lock; it runs safely
+// concurrent with updates and reconstructions.
 func (c *Classifier) Behavior(ingress int, pkt header.Packet) *network.Behavior {
-	leaf, _ := c.Manager.Classify(pkt)
-	return c.Net.Behavior(c.env, ingress, pkt, leaf)
+	s := c.Manager.Snapshot()
+	leaf, _ := s.Classify(pkt)
+	return c.Net.Behavior(&network.Env{Source: s}, ingress, pkt, leaf)
 }
 
 // NewWalker returns a reusable stage-2 traverser bound to this classifier,
@@ -242,31 +244,35 @@ func (c *Classifier) NewWalker() *network.Walker {
 	return network.NewWalker(c.Net, c.env)
 }
 
-// BehaviorWith runs both stages using the caller's Walker; the result is
-// valid until the Walker's next query.
+// BehaviorWith runs both stages using the caller's Walker, pinned to one
+// snapshot epoch like Behavior; the result is valid until the Walker's
+// next query.
 func (c *Classifier) BehaviorWith(w *network.Walker, ingress int, pkt header.Packet) *network.Behavior {
-	leaf, _ := c.Manager.Classify(pkt)
-	return w.Behavior(ingress, pkt, leaf)
+	s := c.Manager.Snapshot()
+	leaf, _ := s.Classify(pkt)
+	return w.BehaviorPinned(s, ingress, pkt, leaf)
 }
 
 // NumPredicates reports the number of live predicates.
 func (c *Classifier) NumPredicates() int { return c.Manager.NumLive() }
 
-// NumAtoms reports the number of leaves (atomic predicates) of the live
-// tree.
-func (c *Classifier) NumAtoms() int { return c.Manager.Tree().NumLeaves() }
+// NumAtoms reports the number of leaves (atomic predicates) of the
+// published tree.
+func (c *Classifier) NumAtoms() int { return c.Manager.Snapshot().Tree().NumLeaves() }
 
-// AverageDepth reports the live tree's mean leaf depth.
-func (c *Classifier) AverageDepth() float64 { return c.Manager.Tree().AverageDepth() }
+// AverageDepth reports the published tree's mean leaf depth.
+func (c *Classifier) AverageDepth() float64 { return c.Manager.Snapshot().Tree().AverageDepth() }
 
 // MemBytes estimates the memory footprint of the classifier state: BDD
 // store (predicates + atoms + tree labels share it), membership vectors
-// and tree nodes.
+// and tree nodes. It reads the published snapshot, so it is safe
+// concurrent with updates.
 func (c *Classifier) MemBytes() int {
-	mem := c.Manager.DD().MemBytes()
-	tree := c.Manager.Tree()
+	s := c.Manager.Snapshot()
+	tree := s.Tree()
+	mem := s.View().MemBytes()
 	perLeaf := 64 // node struct
-	mem += tree.NumLeaves() * (perLeaf + (c.Manager.Tree().NumPreds()+7)/8)
+	mem += tree.NumLeaves() * (perLeaf + (tree.NumPreds()+7)/8)
 	mem += (tree.NumLeaves() - 1) * perLeaf // internal nodes
 	return mem
 }

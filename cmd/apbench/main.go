@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	apbench [-scale small|mid|full] [-run all|tableI,fig4,fig9,fig10,mem,fig11,fig12,fig13,fig14,fig15,tableII]
+//	apbench [-scale small|mid|full] [-run all|tableI,fig4,fig9,fig10,mem,fig11,fig12,fig12par,fig13,fig14,fig14par,fig15,tableII]
 //
 // At -scale full the rule volumes match Table I of the paper (≈126k rules
 // for Internet2, ≈757k + 1,584 ACL rules for Stanford); expect several
@@ -22,7 +22,7 @@ import (
 
 func main() {
 	scaleFlag := flag.String("scale", "", "dataset scale: small, mid (default) or full; overrides APBENCH_SCALE")
-	runFlag := flag.String("run", "all", "comma-separated experiment ids (tableI,fig4,fig9,fig10,mem,fig11,fig12,fig13,fig14,fig15,tableII,optgap,scaling) or 'all'")
+	runFlag := flag.String("run", "all", "comma-separated experiment ids (tableI,fig4,fig9,fig10,mem,fig11,fig12,fig12par,fig13,fig14,fig14par,fig15,tableII,optgap,scaling) or 'all'")
 	dur := flag.Duration("dur", 200*time.Millisecond, "minimum measurement duration per throughput point")
 	trees := flag.Int("trees", 0, "random trees for fig4/fig9/fig10/fig12 (0 = scale default)")
 	flag.Parse()
@@ -86,6 +86,9 @@ func main() {
 	if sel("fig12") {
 		print(env.Fig12(nTrees, 256, *dur))
 	}
+	if sel("fig12par") {
+		print(env.Fig12Parallel(256, *dur))
+	}
 	if sel("fig13") {
 		print(env.Fig13(40)...)
 	}
@@ -93,6 +96,9 @@ func main() {
 		for _, rate := range []int{100, 200} {
 			print(env.Fig14(rate, 1200*time.Millisecond, 100*time.Millisecond, 400*time.Millisecond)...)
 		}
+	}
+	if sel("fig14par") {
+		print(env.Fig14Parallel(0, 200, 1200*time.Millisecond, 100*time.Millisecond, 400*time.Millisecond)...)
 	}
 	if sel("fig15") {
 		print(env.Fig15(10, 512, *dur)...)

@@ -50,11 +50,11 @@ func TestEnvAccessor(t *testing.T) {
 		t.Fatal(err)
 	}
 	env := c.Env()
-	if env.Classify == nil || env.IsLive == nil || env.Version == nil {
+	if env.Source == nil {
 		t.Fatal("Env must be fully wired")
 	}
 	pkt := ds.PacketFromFields(rule.Fields{Dst: 0x0A000001})
-	leaf, _ := env.Classify(pkt)
+	leaf, _ := env.Source.Classify(pkt)
 	if leaf == nil || !leaf.IsLeaf() {
 		t.Fatal("Env.Classify broken")
 	}

@@ -56,11 +56,12 @@ func BenchmarkAddPredicate(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p := d.FromPrefix(0, uint64(rng.Uint32()), 8+rng.Intn(17), 32)
-		tree.AddPredicate(int32(len(in.Preds)+i), d.Retain(p))
+		tree = tree.AddPredicate(int32(len(in.Preds)+i), d.Retain(p))
 	}
 }
 
-func BenchmarkManagerClassifyUnderRLock(b *testing.B) {
+func benchManager(b *testing.B) (*Manager, [][]byte) {
+	b.Helper()
 	rng := rand.New(rand.NewSource(3))
 	m := NewManager(16, MethodOAPT)
 	for i := 0; i < 40; i++ {
@@ -70,8 +71,68 @@ func BenchmarkManagerClassifyUnderRLock(b *testing.B) {
 	for i := range trace {
 		trace[i] = []byte{byte(rng.Intn(256)), byte(rng.Intn(256))}
 	}
+	return m, trace
+}
+
+// BenchmarkManagerClassify measures the single-threaded snapshot query
+// path (one atomic load + tree search). The name kept its historical
+// counterpart BenchmarkManagerClassifyUnderRLock until the read path
+// went lock-free.
+func BenchmarkManagerClassify(b *testing.B) {
+	m, trace := benchManager(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Classify(trace[i%len(trace)])
 	}
+}
+
+// BenchmarkParallelClassify drives Classify from GOMAXPROCS goroutines.
+// With the lock-free snapshot path and striped visit counters this must
+// scale with cores; under the old RLock-per-query design it collapsed on
+// the lock's cache line.
+func BenchmarkParallelClassify(b *testing.B) {
+	m, trace := benchManager(b)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			m.Classify(trace[i%len(trace)])
+			i++
+		}
+	})
+}
+
+// BenchmarkParallelClassifyWithUpdates is the mixed workload: parallel
+// queries while one background goroutine keeps adding predicates, each
+// add republishing the snapshot.
+func BenchmarkParallelClassifyWithUpdates(b *testing.B) {
+	m, trace := benchManager(b)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			addRandomPredicate(m, rng)
+			if i%64 == 63 {
+				m.Reconstruct(false)
+			}
+		}
+	}()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			m.Classify(trace[i%len(trace)])
+			i++
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	<-done
 }

@@ -3,6 +3,7 @@ package aptree
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"apclassifier/internal/bdd"
@@ -15,18 +16,27 @@ import (
 // own goroutine — rebuilds an optimized tree from a snapshot, replays the
 // updates that arrived meanwhile, and atomically swaps it in.
 //
-// Every rebuild happens in a fresh BDD manager so that the live DD is only
-// ever mutated under the write lock; queries evaluate it under the read
-// lock, and the rebuild goroutine reads it only while holding the read
-// lock (during predicate transfer).
+// Queries never lock. Every mutation runs under the write lock, derives
+// a new persistent tree version, and republishes an immutable Snapshot
+// through one atomic pointer before releasing the lock; Classify is a
+// single atomic load followed by the tree search against that epoch.
+// Every rebuild happens in a fresh BDD manager, and a retired DD is
+// abandoned whole rather than garbage collected, so snapshots pinned to
+// old epochs keep evaluating correctly for as long as they are held.
 type Manager struct {
-	mu   sync.RWMutex
-	d    *bdd.DD
-	reg  *Registry
+	mu sync.RWMutex
+	//lint:guard mu
+	d   *bdd.DD
+	reg *Registry
+	//lint:guard mu
 	tree *Tree
 	// version increments at every swap; consumers caching per-tree data
 	// (e.g. middlebox flow tables) invalidate on change.
 	version uint64
+
+	// snap is the published epoch read by the lock-free query path.
+	// Writers store under mu; readers only Load.
+	snap atomic.Pointer[Snapshot]
 
 	method Method
 
@@ -50,24 +60,54 @@ type journalOp struct {
 // classifies to the single atom True).
 func NewManager(numVars int, method Method) *Manager {
 	d := bdd.New(numVars)
-	m := &Manager{d: d, reg: NewRegistry(), method: method}
-	m.tree = Build(Input{
+	tree := Build(Input{
 		D:     d,
 		Preds: nil,
 		Live:  nil,
 		Atoms: predicate.Compute(d, nil),
 	}, MethodOrder)
-	return m
+	return NewManagerWith(d, NewRegistry(), tree, method)
 }
 
 // NewManagerWith wraps an already-built tree, its DD and its registry in a
 // manager. It is the batch-construction path: converting a whole dataset
 // and building the tree once is far cheaper than AddPredicate per
 // predicate. The registry must hold retained refs in d, and the tree must
-// have been built from the registry's live predicates.
+// have been built from the registry's live predicates. The DD must not be
+// garbage collected after this call: the manager publishes frozen views
+// of it, which a GC would invalidate (run any post-construction GC first).
 func NewManagerWith(d *bdd.DD, reg *Registry, tree *Tree, method Method) *Manager {
-	return &Manager{d: d, reg: reg, tree: tree, method: method}
+	m := &Manager{d: d, reg: reg, tree: tree, method: method}
+	// Single-threaded until returned, so publishing without mu is sound.
+	m.publishLocked()
+	return m
 }
+
+// publishLocked captures the current tree, DD and liveness set into a
+// fresh immutable Snapshot and stores it for the lock-free query path.
+// Callers must hold m.mu (or be a constructor with exclusive access).
+func (m *Manager) publishLocked() {
+	live := predicate.NewBitset(m.reg.NumIDs())
+	for id, l := range m.reg.live {
+		if l {
+			live.Set(id, true)
+		}
+	}
+	m.snap.Store(&Snapshot{
+		tree:    m.tree,
+		view:    m.d.Freeze(),
+		live:    live,
+		numLive: m.reg.n,
+		version: m.version,
+		count:   m.tree.CountVisits,
+		visits:  m.tree.visits.view(),
+	})
+}
+
+// Snapshot returns the current published epoch. The result is immutable
+// and remains valid (pinned to its epoch) across any number of later
+// updates and reconstructions.
+func (m *Manager) Snapshot() *Snapshot { return m.snap.Load() }
 
 // DD returns the live BDD manager. Callers must only use it inside
 // AddPredicate's build callback or while holding no expectation of
@@ -86,36 +126,30 @@ func (m *Manager) Tree() *Tree {
 	return m.tree
 }
 
-// Version reports the reconstruction epoch.
-func (m *Manager) Version() uint64 {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.version
-}
+// Version reports the published reconstruction epoch.
+func (m *Manager) Version() uint64 { return m.snap.Load().version }
 
-// NumLive reports the number of live predicates.
-func (m *Manager) NumLive() int {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.reg.NumLive()
-}
+// NumLive reports the number of live predicates in the published epoch.
+func (m *Manager) NumLive() int { return m.snap.Load().numLive }
 
-// Classify returns the leaf for pkt together with the epoch it came from.
+// Classify returns the leaf for pkt together with the epoch it came
+// from. It acquires no lock: the published snapshot is loaded once and
+// the whole search runs against that epoch.
 func (m *Manager) Classify(pkt []byte) (*Node, uint64) {
-	m.mu.RLock()
-	n := m.tree.Classify(pkt)
-	v := m.version
-	m.mu.RUnlock()
-	return n, v
+	return m.snap.Load().Classify(pkt)
 }
 
 // Tx is a handle for compound predicate updates executed atomically under
-// the manager's write lock; see Manager.Update.
+// the manager's write lock; see Manager.Update. Tx methods touch the
+// guarded tree and DD directly: Update holds the write lock for the whole
+// callback.
 type Tx struct {
 	m *Manager
 }
 
 // DD returns the live BDD manager; valid only inside the Update callback.
+//
+//lint:ignore lockguard Update holds m.mu for the life of the Tx
 func (tx *Tx) DD() *bdd.DD { return tx.m.d }
 
 // Ref returns the BDD of predicate id.
@@ -125,12 +159,15 @@ func (tx *Tx) Ref(id int32) bdd.Ref { return tx.m.reg.Ref(id) }
 func (tx *Tx) IsLive(id int32) bool { return tx.m.reg.IsLive(id) }
 
 // Add registers a predicate BDD (built in tx.DD()) and splices it into the
-// live tree in real time (§VI-A), returning its new global ID.
+// live tree in real time (§VI-A), returning its new global ID. The tree
+// update is persistent: pinned snapshots keep the previous version.
+//
+//lint:ignore lockguard Update holds m.mu for the life of the Tx
 func (tx *Tx) Add(ref bdd.Ref) int32 {
 	m := tx.m
 	m.d.Retain(ref)
 	id := m.reg.Add(ref)
-	m.tree.AddPredicate(id, ref)
+	m.tree = m.tree.AddPredicate(id, ref)
 	m.updatesSinceSwap++
 	if m.journal != nil {
 		m.journal = append(m.journal, journalOp{id: id, ref: ref})
@@ -150,14 +187,16 @@ func (tx *Tx) Delete(id int32) {
 	}
 }
 
-// Update runs fn under the write lock. All predicate changes triggered by
-// one data-plane event (a rule insertion can alter several port
-// predicates through LPM shadowing) should share one Update so queries see
-// them atomically.
+// Update runs fn under the write lock and republishes the snapshot. All
+// predicate changes triggered by one data-plane event (a rule insertion
+// can alter several port predicates through LPM shadowing) should share
+// one Update so queries see them atomically: concurrent queries answer
+// from the previous epoch until the single publish at the end.
 func (m *Manager) Update(fn func(tx *Tx)) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	fn(&Tx{m})
+	m.publishLocked()
 }
 
 // AddPredicate registers a new predicate and updates the live tree in real
@@ -182,12 +221,10 @@ func (m *Manager) Ref(id int32) bdd.Ref {
 	return m.reg.Ref(id)
 }
 
-// IsLive reports whether predicate id is not tombstoned.
-func (m *Manager) IsLive(id int32) bool {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.reg.IsLive(id)
-}
+// IsLive reports whether predicate id is live in the published epoch.
+// Like Classify it is lock-free, so Manager satisfies network.Source
+// without reintroducing a mutex on the stage-2 hot path.
+func (m *Manager) IsLive(id int32) bool { return m.snap.Load().IsLive(id) }
 
 // LiveIDs returns the live predicate IDs.
 func (m *Manager) LiveIDs() []int32 {
@@ -217,8 +254,9 @@ func (m *Manager) Reconstruct(weighted bool) {
 	}
 	var weights []leafWeight
 	if weighted {
-		m.tree.Leaves(func(n *Node) {
-			if v := n.Visits(); v > 0 {
+		tree := m.tree
+		tree.Leaves(func(n *Node) {
+			if v := tree.Visits(n); v > 0 {
 				weights = append(weights, leafWeight{n.BDD, float64(v)})
 			}
 		})
@@ -285,7 +323,7 @@ func (m *Manager) Reconstruct(weighted bool) {
 			newRefs = append(newRefs, bdd.False)
 		}
 		newRefs[op.id] = ref
-		newTree.AddPredicate(op.id, ref)
+		newTree = newTree.AddPredicate(op.id, ref)
 	}
 	// Point every live registry entry at the new DD; tombstoned slots die.
 	for id := range m.reg.refs {
@@ -303,6 +341,9 @@ func (m *Manager) Reconstruct(weighted bool) {
 	// optimized for them.
 	m.updatesSinceSwap = len(m.journal)
 	m.journal = nil
+	// Publish the new epoch. The old DD is abandoned whole — never GC'd —
+	// so snapshots pinned to earlier epochs keep evaluating against it.
+	m.publishLocked()
 	m.mu.Unlock()
 }
 

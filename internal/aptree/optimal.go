@@ -38,6 +38,7 @@ func BuildOptimal(in Input) *Tree {
 	allMask := uint32(1)<<uint(len(in.Live)) - 1
 	t.root = o.build(allMask, in.Live, all, 0)
 	t.nextAtom = int32(in.Atoms.N())
+	t.visits = newVisitCounters(int(t.nextAtom))
 	return t
 }
 

@@ -1,0 +1,77 @@
+package aptree
+
+import (
+	"apclassifier/internal/bdd"
+	"apclassifier/internal/predicate"
+)
+
+// Snapshot is one immutable epoch of classifier state: an AP Tree, a
+// frozen evaluation view of the BDD it labels its nodes with, and the
+// predicate-liveness set, all captured together under the manager's
+// write lock and published through a single atomic pointer.
+//
+// Everything reachable from a Snapshot is immutable, so any number of
+// goroutines may Classify through one concurrently — with updates, with
+// reconstructions, and with each other — without any lock. A query that
+// loads the snapshot pointer once is pinned to that epoch: stage 1 and
+// stage 2 see one consistent tree, DD and liveness set even if the
+// manager swaps several times mid-query. A retained Snapshot stays
+// valid across swaps indefinitely; its DD view is never garbage
+// collected (the manager abandons a retired DD wholesale instead of
+// reclaiming nodes from it — see bdd.View on the GC-at-swap rule).
+//
+// Visit counters are the one deliberate exception to immutability:
+// Classify increments the per-atom counter store shared with the live
+// lineage, so queries answered from an old epoch still inform the
+// distribution-aware rebuild (§V-D).
+type Snapshot struct {
+	tree *Tree
+	view *bdd.View
+	// live has bit id set iff predicate id was not tombstoned at capture
+	// time. Out-of-range IDs (added after the capture) read as dead,
+	// which keeps stage 2 consistent with the pinned tree.
+	live    predicate.Bitset
+	numLive int
+	version uint64
+
+	count  bool
+	visits visitView
+}
+
+// Classify runs the stage-1 search against this epoch and returns the
+// leaf together with the epoch's version. It takes no lock and does not
+// allocate; node BDDs evaluate through the frozen view, so a writer
+// growing the live DD never races with it.
+func (s *Snapshot) Classify(pkt []byte) (*Node, uint64) {
+	n := s.tree.root
+	v := s.view
+	preds := s.tree.preds
+	for !n.IsLeaf() {
+		if v.EvalBits(preds[n.Pred], pkt) {
+			n = n.T
+		} else {
+			n = n.F
+		}
+	}
+	if s.count {
+		s.visits.add(n.AtomID)
+	}
+	return n, s.version
+}
+
+// IsLive reports whether predicate id was live in this epoch.
+func (s *Snapshot) IsLive(id int32) bool { return s.live.Get(int(id)) }
+
+// Version reports the reconstruction epoch this snapshot belongs to.
+func (s *Snapshot) Version() uint64 { return s.version }
+
+// NumLive reports the number of live predicates in this epoch.
+func (s *Snapshot) NumLive() int { return s.numLive }
+
+// Tree returns the epoch's AP Tree. The tree (like everything else
+// reachable from the snapshot) must be treated as read-only.
+func (s *Snapshot) Tree() *Tree { return s.tree }
+
+// View returns the frozen BDD evaluation view, whose memory statistics
+// describe the DD as of this epoch.
+func (s *Snapshot) View() *bdd.View { return s.view }

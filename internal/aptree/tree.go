@@ -17,7 +17,6 @@ package aptree
 import (
 	"fmt"
 	"math/rand"
-	"sync/atomic"
 
 	"apclassifier/internal/bdd"
 	"apclassifier/internal/predicate"
@@ -64,14 +63,10 @@ type Node struct {
 	AtomID int32            // tree-local atom identifier
 	BDD    bdd.Ref          // the atom: conjunction of decisions on the path
 	Member predicate.Bitset // bit j set iff this atom implies predicate j
-	visits uint64           // query counter, updated atomically
 }
 
 // IsLeaf reports whether n is a leaf.
 func (n *Node) IsLeaf() bool { return n.Pred < 0 }
-
-// Visits returns the leaf's query counter.
-func (n *Node) Visits() uint64 { return atomic.LoadUint64(&n.visits) }
 
 // Tree is an AP Tree over a predicate set.
 type Tree struct {
@@ -83,9 +78,13 @@ type Tree struct {
 
 	numLeaves int
 	nextAtom  int32
-	// CountVisits enables the per-leaf counters used by the
+	// CountVisits enables the per-atom counters used by the
 	// distribution-aware rebuild. On by default.
 	CountVisits bool
+	// visits holds the per-atom query counters, keyed by AtomID and
+	// shared across the persistent versions AddPredicate derives from
+	// this tree, so a reconstruction sees the whole lineage's history.
+	visits *visitCounters
 }
 
 // Input bundles what a construction needs.
@@ -135,6 +134,7 @@ func Build(in Input, method Method) *Tree {
 		panic(fmt.Sprintf("aptree: unknown method %v", method))
 	}
 	t.nextAtom = int32(in.Atoms.N())
+	t.visits = newVisitCounters(int(t.nextAtom))
 	t.debugCheckPartition()
 	return t
 }
@@ -328,7 +328,7 @@ func (t *Tree) Classify(pkt []byte) *Node {
 		}
 	}
 	if t.CountVisits {
-		atomic.AddUint64(&n.visits, 1)
+		t.visits.add(n.AtomID)
 	}
 	return n
 }
@@ -397,10 +397,11 @@ func (t *Tree) DepthHistogram() []int {
 	return h
 }
 
+// Visits returns leaf n's query counter (the sum over counter stripes).
+func (t *Tree) Visits(n *Node) uint64 { return t.visits.count(n.AtomID) }
+
 // ResetVisits zeroes all leaf counters.
-func (t *Tree) ResetVisits() {
-	t.Leaves(func(n *Node) { atomic.StoreUint64(&n.visits, 0) })
-}
+func (t *Tree) ResetVisits() { t.visits.reset() }
 
 // Drop releases the tree's BDD retentions (leaf atoms). The tree must not
 // be used afterwards.

@@ -309,19 +309,19 @@ func TestVisitCounters(t *testing.T) {
 		tree.Classify(pkt)
 	}
 	var total uint64
-	tree.Leaves(func(n *Node) { total += n.Visits() })
+	tree.Leaves(func(n *Node) { total += tree.Visits(n) })
 	if total != q {
 		t.Fatalf("visit total %d, want %d", total, q)
 	}
 	tree.ResetVisits()
 	total = 0
-	tree.Leaves(func(n *Node) { total += n.Visits() })
+	tree.Leaves(func(n *Node) { total += tree.Visits(n) })
 	if total != 0 {
 		t.Fatal("ResetVisits left counters")
 	}
 	tree.CountVisits = false
 	tree.Classify([]byte{0, 0})
-	tree.Leaves(func(n *Node) { total += n.Visits() })
+	tree.Leaves(func(n *Node) { total += tree.Visits(n) })
 	if total != 0 {
 		t.Fatal("counter incremented while disabled")
 	}

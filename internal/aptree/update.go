@@ -6,54 +6,84 @@ import (
 	"apclassifier/internal/bdd"
 )
 
-// AddPredicate installs a new predicate with the given global ID into the
-// tree per §VI-A: every leaf whose atom straddles p is split into a node
-// labeled id with two child leaves (atom∧p and atom∧¬p); leaves entirely
-// inside p just gain the membership bit. The tree remains a correct
-// classifier for the enlarged predicate set immediately.
+// AddPredicate installs a new predicate with the given global ID per
+// §VI-A: every leaf whose atom straddles p is split into a node labeled
+// id with two child leaves (atom∧p and atom∧¬p); leaves entirely inside
+// p gain the membership bit. The result is a correct classifier for the
+// enlarged predicate set immediately.
 //
-// The caller must serialize AddPredicate with queries (the paper's query
-// process applies updates and answers queries in one thread of control).
-func (t *Tree) AddPredicate(id int32, p bdd.Ref) {
+// The update is persistent: the receiver is left untouched and a new
+// *Tree is returned, sharing every unchanged subtree with the old
+// version by pointer. A published snapshot of the old tree therefore
+// keeps classifying against the old predicate set while the manager
+// republishes the new one — this is what makes the lock-free query path
+// possible. Leaves entirely outside p are shared as-is (their shorter
+// membership vectors read bit id as clear, see predicate.Bitset.Get);
+// leaves inside p are replaced by a copy with the bit set; straddling
+// leaves split into two fresh leaves whose atom BDDs are retained.
+//
+// The old leaf's BDD reference is deliberately NOT released: the old
+// tree version may still be pinned by a snapshot, and all references of
+// an epoch die together when Reconstruct swaps in a fresh DD. Because
+// of this transfer of release responsibility to the epoch boundary,
+// Drop must not be used on a lineage that has seen AddPredicate; the
+// manager never does.
+func (t *Tree) AddPredicate(id int32, p bdd.Ref) *Tree {
 	if int(id) < len(t.preds) && t.preds[id] != bdd.False {
 		panic(fmt.Sprintf("aptree: predicate ID %d already present", id))
 	}
-	for int(id) >= len(t.preds) {
-		t.preds = append(t.preds, bdd.False)
+	nt := &Tree{
+		D:           t.D,
+		preds:       append([]bdd.Ref(nil), t.preds...),
+		numLeaves:   t.numLeaves,
+		nextAtom:    t.nextAtom,
+		CountVisits: t.CountVisits,
+		visits:      t.visits,
 	}
-	t.preds[id] = p
-	t.root = t.addRec(t.root, id, p)
-	t.debugCheckPartition()
+	for int(id) >= len(nt.preds) {
+		nt.preds = append(nt.preds, bdd.False)
+	}
+	nt.preds[id] = p
+	nt.root = nt.addRec(t.root, id, p)
+	nt.visits.grow(int(nt.nextAtom))
+	nt.debugCheckPartition()
+	return nt
 }
 
+// addRec returns the updated version of n, sharing n itself whenever the
+// subtree is unaffected by the new predicate.
 func (t *Tree) addRec(n *Node, id int32, p bdd.Ref) *Node {
 	if !n.IsLeaf() {
-		n.T = t.addRec(n.T, id, p)
-		n.F = t.addRec(n.F, id, p)
-		return n
+		nt, nf := t.addRec(n.T, id, p), t.addRec(n.F, id, p)
+		if nt == n.T && nf == n.F {
+			return n
+		}
+		return &Node{Pred: n.Pred, Depth: n.Depth, T: nt, F: nf}
 	}
 	d := t.D
 	tr := d.And(n.BDD, p)
 	switch tr {
 	case bdd.False:
-		// Atom entirely outside p; membership bit stays clear. The vector
-		// may need growing so later Get(id) is in range.
-		n.Member = n.Member.Clone(len(t.preds))
+		// Atom entirely outside p: the leaf is shared unchanged. Its
+		// membership vector may be shorter than the new predicate space;
+		// Bitset.Get reads the missing bit as clear, which is correct.
 		return n
 	case n.BDD:
-		// Atom entirely inside p.
-		n.Member = n.Member.Clone(len(t.preds))
-		n.Member.Set(int(id), true)
-		return n
+		// Atom entirely inside p: copy the leaf with the bit set.
+		m := n.Member.Clone(len(t.preds))
+		m.Set(int(id), true)
+		return &Node{Pred: -1, Depth: n.Depth, AtomID: n.AtomID, BDD: n.BDD, Member: m}
 	}
-	// Straddles: split the leaf.
+	// Straddles: split into two fresh leaves. The old leaf (and its BDD
+	// reference) lives on in any pinned older tree version; see the
+	// AddPredicate doc comment for why n.BDD is not released here.
 	fr := d.Diff(n.BDD, p)
 	mt := n.Member.Clone(len(t.preds))
 	mt.Set(int(id), true)
 	mf := n.Member.Clone(len(t.preds))
+	//lint:ignore retainrelease ownership transfers to the epoch: refs are dropped wholesale when Reconstruct abandons this DD
 	d.Retain(tr)
 	d.Retain(fr)
-	d.Release(n.BDD)
 	tLeaf := &Node{Pred: -1, Depth: n.Depth + 1, AtomID: t.nextAtom, BDD: tr, Member: mt}
 	fLeaf := &Node{Pred: -1, Depth: n.Depth + 1, AtomID: t.nextAtom + 1, BDD: fr, Member: mf}
 	t.nextAtom += 2

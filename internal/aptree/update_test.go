@@ -24,7 +24,7 @@ func TestAddPredicateKeepsClassificationCorrect(t *testing.T) {
 		id := int32(len(preds))
 		preds = append(preds, p)
 		live = append(live, id)
-		tree.AddPredicate(id, p)
+		tree = tree.AddPredicate(id, p)
 		checkClassification(t, tree, d, preds, live, 2, rng, 100)
 	}
 	// Structural sanity after many updates.
@@ -38,12 +38,12 @@ func TestAddPredicateLeafAccounting(t *testing.T) {
 	in := Input{D: d, Atoms: predicate.Compute(d, nil)}
 	tree := Build(in, MethodOrder) // single leaf
 	p := d.Retain(d.FromPrefix(0, 0x80, 1, 8))
-	tree.AddPredicate(0, p)
+	tree = tree.AddPredicate(0, p)
 	if tree.NumLeaves() != 2 {
 		t.Fatalf("leaves = %d, want 2 after first split", tree.NumLeaves())
 	}
 	// A predicate equal to an existing atom must not split anything.
-	tree.AddPredicate(1, p)
+	tree = tree.AddPredicate(1, p)
 	if tree.NumLeaves() != 2 {
 		t.Fatalf("leaves = %d, duplicate predicate must not split", tree.NumLeaves())
 	}
@@ -65,13 +65,13 @@ func TestAddPredicateRejectsExistingID(t *testing.T) {
 	in := Input{D: d, Atoms: predicate.Compute(d, nil)}
 	tree := Build(in, MethodOrder)
 	p := d.Retain(d.FromPrefix(0, 0x80, 1, 8))
-	tree.AddPredicate(0, p)
+	tree = tree.AddPredicate(0, p)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("reusing a predicate ID must panic")
 		}
 	}()
-	tree.AddPredicate(0, p)
+	tree = tree.AddPredicate(0, p)
 }
 
 func TestRegistry(t *testing.T) {

@@ -14,8 +14,13 @@
 //
 // Concurrency: a DD is not safe for concurrent mutation. Read-only use
 // (Eval/EvalBits) is safe from multiple goroutines as long as no operation
-// that can allocate nodes runs concurrently. The AP Classifier serializes
-// all node-allocating work on its update path.
+// that can allocate nodes runs concurrently. For readers that must overlap
+// a writer, Freeze returns a View: an immutable evaluation view of the
+// store's current prefix that stays valid while the writer appends,
+// because the store is append-only between garbage collections (see
+// View's safety model). The AP Classifier serializes all node-allocating
+// work on its update path and publishes Views in epoch snapshots for the
+// query path.
 package bdd
 
 import (

@@ -1,0 +1,94 @@
+package bdd
+
+// View is a read-only evaluation view of a DD, frozen at a point in time.
+// It is the substrate of the classifier's lock-free query path: a writer
+// keeps allocating nodes in the DD while any number of readers evaluate
+// through Views taken earlier.
+//
+// Safety model. A View aliases the DD's node store rather than copying it;
+// what makes that sound is that the store is append-only between garbage
+// collections. The View captures the store prefix that existed at Freeze
+// time, and every Ref reachable from a root retained at Freeze time points
+// into that prefix. Later mk calls only write slots past the prefix (or
+// slots freed by a GC, which are by definition unreachable from retained
+// roots), so readers and the writer never touch the same memory. Publish
+// the View through an atomic pointer (or another happens-before edge) so
+// its prefix writes are visible to readers.
+//
+// Rules for holders of a View:
+//
+//   - Only evaluate Refs that were retained (directly or transitively, e.g.
+//     via an AP Tree's leaf retentions) when the View was frozen, and whose
+//     retention outlives the View.
+//   - Releasing such a root and then running DD.GC invalidates the View:
+//     freed slots may be rewritten by later allocations. The classifier
+//     therefore collects garbage only at swap boundaries — when a rebuild
+//     retires a whole DD and no View over it is published anymore — never
+//     on a DD with outstanding Views.
+type View struct {
+	nodes   []node
+	numVars int
+	live    int // live node count at freeze, incl. terminals
+	mem     int // MemBytes() at freeze
+	liveMem int // LiveMemBytes() at freeze
+}
+
+// Freeze returns a read-only evaluation view of the DD's current state.
+// Freezing is O(1): the view aliases the node store and records its
+// current length and memory statistics.
+func (d *DD) Freeze() *View {
+	return &View{
+		nodes:   d.nodes[:len(d.nodes):len(d.nodes)],
+		numVars: d.numVars,
+		live:    d.live,
+		mem:     d.MemBytes(),
+		liveMem: d.LiveMemBytes(),
+	}
+}
+
+// NumVars reports the number of Boolean variables of the frozen DD.
+func (v *View) NumVars() int { return v.numVars }
+
+// NumNodes reports the size of the frozen node-store prefix (allocated
+// slots, including freed ones and the two terminals).
+func (v *View) NumNodes() int { return len(v.nodes) }
+
+// LiveNodes reports the number of live nodes at freeze time.
+func (v *View) LiveNodes() int { return v.live }
+
+// MemBytes reports the DD's allocated-footprint estimate at freeze time.
+func (v *View) MemBytes() int { return v.mem }
+
+// LiveMemBytes reports the DD's live-footprint estimate at freeze time —
+// what /stats and the memory experiment historically read from the live
+// DD, now answerable without touching it.
+func (v *View) LiveMemBytes() int { return v.liveMem }
+
+// Eval evaluates f under the assignment provided by bit; see DD.Eval.
+func (v *View) Eval(f Ref, bit func(i int) bool) bool {
+	nodes := v.nodes
+	for f > True {
+		n := nodes[f]
+		if bit(int(n.level)) {
+			f = n.high
+		} else {
+			f = n.low
+		}
+	}
+	return f == True
+}
+
+// EvalBits evaluates f against a packed MSB-first bit vector; see
+// DD.EvalBits. This is the snapshot query path's hot loop.
+func (v *View) EvalBits(f Ref, bits []byte) bool {
+	nodes := v.nodes
+	for f > True {
+		n := nodes[f]
+		if bits[n.level>>3]&(0x80>>(uint(n.level)&7)) != 0 {
+			f = n.high
+		} else {
+			f = n.low
+		}
+	}
+	return f == True
+}

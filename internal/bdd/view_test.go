@@ -1,0 +1,105 @@
+package bdd
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestViewMatchesDD checks that a frozen view evaluates exactly like the
+// DD it was taken from, before and after further writer activity.
+func TestViewMatchesDD(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	d := New(24)
+	refs := make([]Ref, 16)
+	for i := range refs {
+		refs[i] = d.Retain(d.FromPrefix(0, uint64(rng.Uint32())>>8, 1+rng.Intn(16), 24))
+	}
+	v := d.Freeze()
+	if v.NumVars() != d.NumVars() {
+		t.Fatalf("view vars %d, dd vars %d", v.NumVars(), d.NumVars())
+	}
+	if v.LiveMemBytes() != d.LiveMemBytes() || v.MemBytes() != d.MemBytes() {
+		t.Fatal("view memory stats must match the DD at freeze time")
+	}
+	pkt := make([]byte, 3)
+	check := func() {
+		for i := 0; i < 200; i++ {
+			rng.Read(pkt)
+			for _, f := range refs {
+				if got, want := v.EvalBits(f, pkt), d.EvalBits(f, pkt); got != want {
+					t.Fatalf("view eval %v, dd eval %v", got, want)
+				}
+				bit := func(i int) bool { return pkt[i>>3]&(0x80>>(uint(i)&7)) != 0 }
+				if got, want := v.Eval(f, bit), d.Eval(f, bit); got != want {
+					t.Fatalf("view Eval %v, dd Eval %v", got, want)
+				}
+			}
+		}
+	}
+	check()
+	// The writer keeps allocating: frozen refs must evaluate identically.
+	for i := 0; i < 64; i++ {
+		d.Retain(d.FromPrefix(0, uint64(rng.Uint32())>>8, 1+rng.Intn(16), 24))
+	}
+	check()
+}
+
+// TestViewConcurrentWithAppends is the memory-model contract test: readers
+// evaluate through a published view while a writer appends nodes to the
+// same DD. Run under -race this exercises the append-only store guarantee
+// the snapshot query path depends on.
+func TestViewConcurrentWithAppends(t *testing.T) {
+	d := New(24)
+	rng := rand.New(rand.NewSource(33))
+	refs := make([]Ref, 12)
+	for i := range refs {
+		refs[i] = d.Retain(d.FromPrefix(0, uint64(rng.Uint32())>>8, 1+rng.Intn(12), 24))
+	}
+	var published struct {
+		sync.Mutex
+		v *View
+	}
+	published.v = d.Freeze()
+
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			pkt := make([]byte, 3)
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				published.Lock()
+				v := published.v
+				published.Unlock()
+				rng.Read(pkt)
+				for _, f := range refs {
+					v.EvalBits(f, pkt)
+				}
+			}
+		}(int64(r))
+	}
+	// Writer: allocate aggressively (forcing node-store growth and
+	// unique-table rehashes) and republish fresh views.
+	for i := 0; i < 400; i++ {
+		d.Retain(d.FromPrefix(0, uint64(rng.Uint32())>>8, 1+rng.Intn(20), 24))
+		if i%16 == 0 {
+			v := d.Freeze()
+			published.Lock()
+			published.v = v
+			published.Unlock()
+		}
+	}
+	close(done)
+	wg.Wait()
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -75,15 +75,18 @@ func (e *Env) Fig13(adds int) []*Table {
 
 // dynAPLinear is the APLinear baseline under churn: it maintains the atom
 // set incrementally (AP Verifier's update) and scans it linearly per query.
+// Both baselines evaluate against the same pool DD, whose node store grows
+// under AddPredicate's BDD operations, so they share one RWMutex: queries
+// are pure reads (EvalBits) and take the read lock, updates the write lock.
 type dynAPLinear struct {
-	mu    sync.Mutex
+	mu    *sync.RWMutex // shared with dynPScan (same underlying DD)
 	d     *bdd.DD
 	atoms *predicate.Atoms
 }
 
 func (a *dynAPLinear) classify(pkt []byte) int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	return a.atoms.ClassifyLinear(pkt)
 }
 
@@ -96,14 +99,14 @@ func (a *dynAPLinear) add(id int, ref bdd.Ref) {
 // dynPScan is the PScan baseline under churn: a mutable predicate list
 // scanned per query.
 type dynPScan struct {
-	mu   sync.Mutex
+	mu   *sync.RWMutex // shared with dynAPLinear (same underlying DD)
 	d    *bdd.DD
 	refs map[int32]bdd.Ref
 }
 
 func (p *dynPScan) scan(pkt []byte) int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	n := 0
 	for _, ref := range p.refs {
 		if p.d.EvalBits(ref, pkt) {
@@ -127,8 +130,11 @@ func (e *Env) Fig14(updatesPerSec int, duration, bucket, reconEvery time.Duratio
 		initial := len(pool.refs) * 7 / 10
 		m := subsetManager(pool, order, initial, aptree.MethodOAPT)
 
-		// Baselines share the pool DD (immutable) so no swap hazards.
-		base := &dynAPLinear{d: pool.d}
+		// Baselines share the pool DD (no swap hazards) and therefore one
+		// RWMutex: APLinear's incremental atom update runs BDD operations
+		// that grow the DD under PScan's reader.
+		baseMu := new(sync.RWMutex)
+		base := &dynAPLinear{mu: baseMu, d: pool.d}
 		{
 			refs := make([]bdd.Ref, initial)
 			ids := make([]int, initial)
@@ -138,7 +144,7 @@ func (e *Env) Fig14(updatesPerSec int, duration, bucket, reconEvery time.Duratio
 			}
 			base.atoms = predicate.ComputeMapped(pool.d, refs, ids, len(pool.refs))
 		}
-		pscan := &dynPScan{d: pool.d, refs: map[int32]bdd.Ref{}}
+		pscan := &dynPScan{mu: baseMu, d: pool.d, refs: map[int32]bdd.Ref{}}
 		for k := 0; k < initial; k++ {
 			pscan.refs[int32(k)] = pool.refs[order[k]]
 		}

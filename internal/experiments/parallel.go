@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"apclassifier/internal/aptree"
+)
+
+// measureQPSParallel runs fn over the trace from `workers` goroutines for
+// at least minDur and returns aggregate queries per second.
+func measureQPSParallel(fn func(pkt []byte), trace [][]byte, workers int, minDur time.Duration) float64 {
+	var total uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(off int) {
+			defer wg.Done()
+			n := uint64(0)
+			i := off
+			for {
+				select {
+				case <-stop:
+					atomic.AddUint64(&total, n)
+					return
+				default:
+				}
+				fn(trace[i%len(trace)])
+				i++
+				n++
+			}
+		}(w * 37)
+	}
+	time.Sleep(minDur)
+	close(stop)
+	wg.Wait()
+	return float64(total) / time.Since(start).Seconds()
+}
+
+// parallelWorkerCounts returns the goroutine counts the parallel figures
+// sweep: powers of two up to the machine.
+func parallelWorkerCounts() []int {
+	var counts []int
+	for w := 1; w <= runtime.GOMAXPROCS(0); w *= 2 {
+		counts = append(counts, w)
+	}
+	if last := counts[len(counts)-1]; last != runtime.GOMAXPROCS(0) {
+		counts = append(counts, runtime.GOMAXPROCS(0))
+	}
+	return counts
+}
+
+// Fig12Parallel is the multi-core companion to Fig12: stage-1 query
+// throughput through the lock-free snapshot path as the number of query
+// goroutines grows. The paper evaluates a single query process; this
+// figure exists to validate the snapshot architecture — queries take no
+// lock, so aggregate throughput must scale with cores instead of
+// collapsing on a reader-writer lock's cache line.
+func (e *Env) Fig12Parallel(traceLen int, minDur time.Duration) *Table {
+	t := &Table{
+		Title:  "Fig 12 (parallel) — stage-1 throughput vs query goroutines, snapshot path",
+		Header: []string{"network", "goroutines", "throughput (Mqps)", "speedup vs 1"},
+		Notes: []string{
+			"queries go through Manager.Classify: one atomic snapshot load, zero locks",
+			"expected shape: near-linear scaling until memory bandwidth saturates",
+		},
+	}
+	for _, name := range e.networks() {
+		c, ds := e.network(name)
+		in := e.treeInput(name)
+		rng := rand.New(rand.NewSource(12))
+		trace := uniformTrace(in, ds.Layout.Bytes(), traceLen, rng)
+		m := c.Manager
+		base := 0.0
+		for _, w := range parallelWorkerCounts() {
+			q := measureQPSParallel(func(p []byte) { m.Classify(p) }, trace, w, minDur)
+			if w == 1 {
+				base = q
+			}
+			t.AddRow(name, fmt.Sprint(w), mqps(q), fmt.Sprintf("%.2fx", q/base))
+		}
+	}
+	return t
+}
+
+// Fig14Parallel is the multi-core companion to Fig14: aggregate query
+// throughput over time while a Poisson update process and a periodic
+// reconstruction process run concurrently — the full three-process
+// operation of §VI with a parallel query stage. Every query pins one
+// published snapshot; updates and swaps never block it.
+func (e *Env) Fig14Parallel(workers, updatesPerSec int, duration, bucket, reconEvery time.Duration) []*Table {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var out []*Table
+	for _, name := range e.networks() {
+		in := e.treeInput(name)
+		_, ds := e.network(name)
+		pool := newPredPool(in)
+		rng := rand.New(rand.NewSource(14))
+		order := shuffledOrder(len(pool.refs), rng)
+		initial := len(pool.refs) * 7 / 10
+		m := subsetManager(pool, order, initial, aptree.MethodOAPT)
+		trace := uniformTrace(in, ds.Layout.Bytes(), 512, rng)
+
+		buckets := int(duration / bucket)
+		counts := make([]uint64, buckets)
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		start := time.Now()
+
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(off int) {
+				defer wg.Done()
+				i := off
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					m.Classify(trace[i%len(trace)])
+					i++
+					if b := int(time.Since(start) / bucket); b >= 0 && b < buckets {
+						atomic.AddUint64(&counts[b], 1)
+					}
+				}
+			}(w * 37)
+		}
+
+		// Update process: Poisson arrivals, alternating add/delete.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			urng := rand.New(rand.NewSource(99))
+			next := initial
+			var deletable []int32
+			for k := 0; k < initial; k++ {
+				deletable = append(deletable, int32(k))
+			}
+			for {
+				wait := time.Duration(urng.ExpFloat64() * float64(time.Second) / float64(updatesPerSec))
+				select {
+				case <-stop:
+					return
+				case <-time.After(wait):
+				}
+				if urng.Intn(2) == 0 && next < len(order) {
+					id := m.AddPredicate(pool.builder(order[next]))
+					deletable = append(deletable, id)
+					next++
+				} else if len(deletable) > 0 {
+					k := urng.Intn(len(deletable))
+					id := deletable[k]
+					deletable = append(deletable[:k], deletable[k+1:]...)
+					if m.IsLive(id) {
+						m.DeletePredicate(id)
+					}
+				}
+			}
+		}()
+
+		// Reconstruction process: periodic rebuilds and swaps.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tick := time.NewTicker(reconEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					m.Reconstruct(false)
+				}
+			}
+		}()
+
+		time.Sleep(duration)
+		close(stop)
+		wg.Wait()
+
+		t := &Table{
+			Title: fmt.Sprintf("Fig 14 (parallel, %s) — %d query goroutines under %d updates/s, reconstruction every %v",
+				name, workers, updatesPerSec, reconEvery),
+			Header: []string{"time (s)", "aggregate (Mqps)", "per-goroutine (Mqps)"},
+			Notes: []string{
+				"expected shape: aggregate ≈ workers × single-thread Fig 14 throughput; update/swap activity causes no cliff",
+			},
+		}
+		perSec := 1.0 / bucket.Seconds()
+		for b := 0; b < buckets; b++ {
+			agg := float64(counts[b]) * perSec
+			t.AddRow(fmt.Sprintf("%.2f", (time.Duration(b)*bucket).Seconds()),
+				mqps(agg), mqps(agg/float64(workers)))
+		}
+		var sum uint64
+		for _, c := range counts {
+			sum += c
+		}
+		t.Notes = append(t.Notes, fmt.Sprintf("average aggregate: %s Mqps over %d goroutines",
+			mqps(float64(sum)/duration.Seconds()), workers))
+		out = append(out, t)
+	}
+	return out
+}

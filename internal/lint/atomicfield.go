@@ -2,25 +2,56 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
 // AtomicField flags plain (non-atomic) accesses to struct fields that are
-// elsewhere accessed through sync/atomic. A field like aptree.Node.visits
+// elsewhere accessed through sync/atomic. A field like a visit counter
 // is documented as "updated atomically"; one forgotten plain increment is a
 // data race the compiler happily accepts. The analyzer gathers, across the
 // whole module, every field whose address is passed to a sync/atomic
 // function, then reports every other selector access to those fields.
 // Writes through keyed composite literals are reported too.
+//
+// Fields declared with a sync/atomic type (atomic.Uint64,
+// atomic.Pointer[T], ...) are atomic by construction: calling their
+// methods and taking their address are the sanctioned uses, while any
+// other selector access — which can only copy the value, silently
+// forking its state — is reported.
 var AtomicField = &Analyzer{
 	Name: "atomicfield",
-	Doc:  "fields accessed via sync/atomic must never be read or written plainly",
+	Doc:  "fields accessed via sync/atomic must never be read, written or copied plainly",
 	Run:  runAtomicField,
 }
 
 func runAtomicField(m *Module, report Reporter) {
 	atomicFields := make(map[*types.Var]bool)
+	atomicTyped := make(map[*types.Var]bool)
 	sanctioned := make(map[*ast.SelectorExpr]bool)
+
+	// Pass 0: fields declared with a sync/atomic type are atomic whether or
+	// not any call site has been written yet.
+	for _, pkg := range m.Pkgs {
+		info := pkg.Info
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				st, ok := n.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				for _, field := range st.Fields.List {
+					for _, name := range field.Names {
+						if v, ok := info.Defs[name].(*types.Var); ok && isAtomicType(v.Type()) {
+							atomicFields[v] = true
+							atomicTyped[v] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
 
 	// Pass 1: find &x.f arguments to sync/atomic calls.
 	for _, pkg := range m.Pkgs {
@@ -65,17 +96,42 @@ func runAtomicField(m *Module, report Reporter) {
 		for _, f := range pkg.Files {
 			ast.Inspect(f, func(n ast.Node) bool {
 				switch n := n.(type) {
+				case *ast.UnaryExpr:
+					// &x.f on an atomic-typed field passes a pointer to the
+					// live value — that preserves atomicity, so sanction it.
+					if n.Op == token.AND {
+						if sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr); ok {
+							if v := fieldVar(info, sel); v != nil && atomicTyped[v] {
+								sanctioned[sel] = true
+							}
+						}
+					}
 				case *ast.SelectorExpr:
 					if sanctioned[n] {
 						return true
+					}
+					// m.snap.Load(): the outer selector is a method of the
+					// atomic type; the inner field selection it is invoked
+					// on is the sanctioned way to touch the field.
+					if inner, ok := ast.Unparen(n.X).(*ast.SelectorExpr); ok {
+						if s := info.Selections[n]; s != nil && s.Kind() == types.MethodVal {
+							if v := fieldVar(info, inner); v != nil && atomicTyped[v] {
+								sanctioned[inner] = true
+							}
+						}
 					}
 					s := info.Selections[n]
 					if s == nil || s.Kind() != types.FieldVal {
 						return true
 					}
 					if v, ok := s.Obj().(*types.Var); ok && atomicFields[v] {
-						report(n.Sel.Pos(),
-							"field %s is accessed via sync/atomic elsewhere; plain access is a data race", v.Name())
+						if atomicTyped[v] {
+							report(n.Sel.Pos(),
+								"field %s has a sync/atomic type; this access copies the value — use its methods", v.Name())
+						} else {
+							report(n.Sel.Pos(),
+								"field %s is accessed via sync/atomic elsewhere; plain access is a data race", v.Name())
+						}
 					}
 				case *ast.CompositeLit:
 					for _, elt := range n.Elts {

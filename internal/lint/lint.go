@@ -56,6 +56,7 @@ func All() []*Analyzer {
 		AtomicField,
 		RetainRelease,
 		LockSafe,
+		LockGuard,
 		DDMix,
 		ErrDrop,
 	}

@@ -84,6 +84,8 @@ var fixtureCases = []struct {
 	{RetainRelease, "retainrelease/clean", false},
 	{LockSafe, "locksafe/bad", true},
 	{LockSafe, "locksafe/clean", false},
+	{LockGuard, "lockguard/bad", true},
+	{LockGuard, "lockguard/clean", false},
 	{DDMix, "ddmix/bad", true},
 	{DDMix, "ddmix/clean", false},
 	{ErrDrop, "errdrop/bad", true},

@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockGuard enforces declared mutex ownership of struct fields. A field
+// annotated in its declaration with
+//
+//	//lint:guard <mutexField>
+//
+// may only be read or written by functions that visibly hold the guard:
+// either the function body contains a <recv>.<mutexField>.Lock() or
+// .RLock() call (matched textually against the access's receiver path,
+// like locksafe), or the function's name ends in "Locked", the module's
+// convention for helpers whose callers hold the lock. Everything else is
+// reported once per function and field, at the function declaration, so a
+// //lint:ignore lockguard directive above the func covers the whole body.
+//
+// Composite literals are exempt: constructors initialize guarded fields
+// on values no other goroutine can see yet. The check is intraprocedural
+// and textual — it proves the guard was acquired somewhere in the
+// function, not that it is held at the access; locksafe separately
+// enforces that acquisitions pair with releases.
+var LockGuard = &Analyzer{
+	Name: "lockguard",
+	Doc:  "fields annotated //lint:guard <mutex> are only touched with the guard held or from *Locked helpers",
+	Run:  runLockGuard,
+}
+
+const guardPrefix = "lint:guard"
+
+// guardName extracts the mutex field name from a //lint:guard directive in
+// the comment group, or "" if the group has no directive. A directive with
+// no field name is reported as malformed.
+func guardName(cg *ast.CommentGroup, report Reporter) string {
+	if cg == nil {
+		return ""
+	}
+	for _, c := range cg.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if !strings.HasPrefix(text, guardPrefix) {
+			continue
+		}
+		fields := strings.Fields(strings.TrimPrefix(text, guardPrefix))
+		if len(fields) == 0 {
+			report(c.Pos(), "malformed directive: want //lint:guard <mutexField>")
+			return ""
+		}
+		return fields[0]
+	}
+	return ""
+}
+
+func runLockGuard(m *Module, report Reporter) {
+	// Pass 1: collect annotated fields from struct declarations.
+	guarded := make(map[*types.Var]string)
+	for _, pkg := range m.Pkgs {
+		info := pkg.Info
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				st, ok := n.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				for _, field := range st.Fields.List {
+					g := guardName(field.Doc, report)
+					if g == "" {
+						g = guardName(field.Comment, report)
+					}
+					if g == "" {
+						continue
+					}
+					for _, name := range field.Names {
+						if v, ok := info.Defs[name].(*types.Var); ok {
+							guarded[v] = g
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(guarded) == 0 {
+		return
+	}
+
+	// Pass 2: judge every selector access to a guarded field.
+	for _, pkg := range m.Pkgs {
+		info := pkg.Info
+		funcBodies(pkg, func(fd *ast.FuncDecl) {
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				return
+			}
+			// Every Lock/RLock receiver path acquired anywhere in the body
+			// (including deferred closures, which funcBodies keeps inline).
+			locked := make(map[string]bool)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if p, _, ok := syncLockCall(info, call, "Lock", "RLock"); ok {
+						locked[p] = true
+					}
+				}
+				return true
+			})
+			reported := make(map[*types.Var]bool)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				s := info.Selections[sel]
+				if s == nil || s.Kind() != types.FieldVal {
+					return true
+				}
+				v, ok := s.Obj().(*types.Var)
+				if !ok {
+					return true
+				}
+				g, isGuarded := guarded[v]
+				if !isGuarded || reported[v] {
+					return true
+				}
+				base := pathString(sel.X)
+				if base != "" && locked[base+"."+g] {
+					return true
+				}
+				reported[v] = true
+				reportGuardViolation(report, fd.Name.Pos(), fd.Name.Name, v.Name(), base, g)
+				return true
+			})
+		})
+	}
+}
+
+func reportGuardViolation(report Reporter, pos token.Pos, fn, field, base, guard string) {
+	if base == "" {
+		base = "<recv>"
+	}
+	report(pos, "%s accesses %s-guarded field %s without %s.%s.Lock/RLock in the body (hold the guard or name the helper *Locked)",
+		fn, guard, field, base, guard)
+}

@@ -47,7 +47,9 @@ func copyableLockValue(info *types.Info, e ast.Expr) bool {
 		return false
 	}
 	tv, ok := info.Types[ast.Unparen(e)]
-	return ok && tv.Type != nil && containsLock(tv.Type)
+	// A type expression — new(sync.RWMutex), a generic type argument — names
+	// the lock type without copying any value.
+	return ok && !tv.IsType() && tv.Type != nil && containsLock(tv.Type)
 }
 
 func checkLockCopies(pkg *Package, report Reporter) {

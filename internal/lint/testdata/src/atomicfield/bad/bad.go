@@ -1,6 +1,7 @@
 // Package bad seeds atomicfield violations: the hits field is updated via
 // sync/atomic in Touch but read plainly in Snapshot and written through a
-// composite literal in Fresh.
+// composite literal in Fresh, and the atomic-typed cur field is copied by
+// value in Leak.
 package bad
 
 import "sync/atomic"
@@ -20,4 +21,16 @@ func (c *counter) Snapshot() uint64 {
 
 func Fresh() *counter {
 	return &counter{hits: 1, name: "seeded"} // plain composite-literal write
+}
+
+type published struct {
+	cur atomic.Pointer[counter]
+}
+
+func (p *published) Set(c *counter) {
+	p.cur.Store(c)
+}
+
+func (p *published) Leak() atomic.Pointer[counter] {
+	return p.cur // value copy of an atomic-typed field
 }

@@ -22,3 +22,13 @@ func (c *counter) Reset() {
 }
 
 func (c *counter) Name() string { return c.name }
+
+// published exercises the atomic-typed-field rules: method calls and
+// address-of are the sanctioned accesses.
+type published struct {
+	cur atomic.Pointer[counter]
+}
+
+func (p *published) Get() *counter                 { return p.cur.Load() }
+func (p *published) Set(c *counter)                { p.cur.Store(c) }
+func (p *published) Ptr() *atomic.Pointer[counter] { return &p.cur }

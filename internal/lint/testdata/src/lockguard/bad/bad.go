@@ -1,0 +1,28 @@
+// Package bad seeds lockguard violations: data is declared mu-guarded but
+// Peek reads it with no lock and Wrong reads it holding the wrong mutex.
+package bad
+
+import "sync"
+
+type store struct {
+	mu  sync.RWMutex
+	aux sync.Mutex
+	//lint:guard mu
+	data map[string]int
+}
+
+func (s *store) Peek(k string) int {
+	return s.data[k] // no lock at all
+}
+
+func (s *store) Wrong(k string) int {
+	s.aux.Lock()
+	defer s.aux.Unlock()
+	return s.data[k] // holds aux, not the declared guard
+}
+
+func (s *store) Put(k string, v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data[k] = v // fine: guard held
+}

@@ -1,0 +1,32 @@
+// Package clean touches its mu-guarded field only in the sanctioned ways:
+// under the guard, from a *Locked helper, or in a constructor literal.
+package clean
+
+import "sync"
+
+type store struct {
+	mu sync.RWMutex
+	//lint:guard mu
+	data map[string]int
+}
+
+func newStore() *store {
+	return &store{data: map[string]int{}} // fresh value: nothing to guard yet
+}
+
+func (s *store) Get(k string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.data[k]
+}
+
+func (s *store) Put(k string, v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.putLocked(k, v)
+}
+
+// putLocked's name promises the caller holds mu.
+func (s *store) putLocked(k string, v int) {
+	s.data[k] = v
+}

@@ -43,3 +43,9 @@ func viaPointer(g *guarded) *guarded {
 	h := g // copying the pointer is fine
 	return h
 }
+
+// newMutex names the lock type without copying a lock value: the builtin
+// new takes a type argument, not a value.
+func newMutex() *sync.RWMutex {
+	return new(sync.RWMutex)
+}

@@ -71,6 +71,31 @@ func lockIn(t types.Type, seen map[types.Type]bool) bool {
 	return false
 }
 
+// isAtomicType reports whether t is a named type declared in sync/atomic
+// (atomic.Uint64, atomic.Pointer[T], atomic.Value, ...).
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// fieldVar returns the struct field selected by sel, or nil when sel is not
+// a field selection.
+func fieldVar(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s := info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok {
+		return nil
+	}
+	return v
+}
+
 // calleeFunc resolves the called function or method object of call, or nil
 // for calls through function-typed variables and type conversions.
 func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {

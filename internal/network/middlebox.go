@@ -97,7 +97,7 @@ func (m *Middlebox) process(env *Env, b *Behavior, w workItem) ([]workItem, bool
 			if e.Type == MBDeterministic {
 				leaf = m.cachedClassify(env, ei, w.leaf.AtomID, out)
 			} else {
-				leaf, _ = env.Classify(out)
+				leaf, _ = env.Source.Classify(out)
 			}
 			b.Rewrites++
 			heads = append(heads, workItem{box: w.box, pkt: out, leaf: leaf, hops: w.hops})
@@ -115,10 +115,7 @@ func (m *Middlebox) process(env *Env, b *Behavior, w workItem) ([]workItem, bool
 // predicates added since.
 func (m *Middlebox) cachedClassify(env *Env, entry int, atom int32, out []byte) *aptree.Node {
 	key := mbCacheKey{entry, atom}
-	var cur uint64
-	if env.Version != nil {
-		cur = env.Version()
-	}
+	cur := env.Source.Version()
 	m.mu.Lock()
 	if m.cache == nil || m.cacheVersion != cur {
 		m.cache = make(map[mbCacheKey]*aptree.Node)
@@ -128,7 +125,7 @@ func (m *Middlebox) cachedClassify(env *Env, entry int, atom int32, out []byte) 
 		return cached
 	}
 	m.mu.Unlock()
-	leaf, v := env.Classify(out)
+	leaf, v := env.Source.Classify(out)
 	m.mu.Lock()
 	if m.cacheVersion == v {
 		m.cache[key] = leaf

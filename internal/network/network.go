@@ -101,18 +101,32 @@ func (n *Network) BoxByName(name string) int {
 	return -1
 }
 
-// Env provides stage 2 with the classifier state it depends on: atom
-// lookup for header changes and predicate liveness for tombstones.
+// Source supplies stage 2 with the classifier state it depends on: atom
+// lookup for rewritten headers, predicate liveness for tombstones
+// (§VI-A), and the epoch that keys middlebox flow-table caches.
+//
+// Both *aptree.Manager (the live, self-updating classifier) and
+// *aptree.Snapshot (one immutable epoch) implement Source. Pinning a
+// Snapshot for the duration of a query gives the whole traversal — every
+// membership test and every mid-flight reclassification after a header
+// rewrite — one consistent view, with no locks on the hot path.
+type Source interface {
+	// Classify maps a (possibly rewritten) header to its AP Tree leaf
+	// and reports the classifier epoch the result came from.
+	Classify(pkt []byte) (*aptree.Node, uint64)
+	// IsLive reports whether a predicate ID is not tombstoned.
+	IsLive(id int32) bool
+	// Version reports the classifier epoch; middlebox flow-table caches
+	// are invalidated when it changes.
+	Version() uint64
+}
+
+// Env provides stage 2 with the classifier state it depends on.
 type Env struct {
-	// Classify maps a (possibly rewritten) header to its AP Tree leaf and
-	// reports the classifier epoch the result came from.
-	Classify func(pkt []byte) (*aptree.Node, uint64)
-	// Version reports the current classifier epoch; middlebox flow-table
-	// caches are invalidated when it changes. May be nil for static use.
-	Version func() uint64
-	// IsLive reports whether a predicate ID is not tombstoned. Stage 2
-	// ignores deleted predicates per §VI-A.
-	IsLive func(id int32) bool
+	// Source is the classifier behind the traversal. A nil Source treats
+	// every predicate as live and supports no header-rewriting
+	// middleboxes; it serves static tests over a fixed tree.
+	Source Source
 	// MaxHops bounds traversal (0 means 4×boxes+16).
 	MaxHops int
 }
@@ -234,7 +248,7 @@ func member(env *Env, leaf *aptree.Node, id int32) bool {
 	if id == NoPred {
 		return false
 	}
-	if env.IsLive != nil && !env.IsLive(id) {
+	if env.Source != nil && !env.Source.IsLive(id) {
 		return false
 	}
 	return leaf.Member.Get(int(id))
@@ -246,7 +260,7 @@ func aclPasses(env *Env, leaf *aptree.Node, id int32) bool {
 	if id == NoPred {
 		return true
 	}
-	if env.IsLive != nil && !env.IsLive(id) {
+	if env.Source != nil && !env.Source.IsLive(id) {
 		return true
 	}
 	return leaf.Member.Get(int(id))
@@ -269,16 +283,23 @@ type visitKey struct {
 // per-query allocations of Network.Behavior. A Walker is not safe for
 // concurrent use; pool one per goroutine for hot query loops.
 type Walker struct {
-	n       *Network
-	env     *Env
+	n *Network
+	// env is a private copy: BehaviorPinned swaps its Source per query
+	// without touching the Env the Walker was built from.
+	env     Env
 	visited map[visitKey]bool
 	queue   []workItem
 	beh     Behavior
 }
 
-// NewWalker returns a reusable traverser for the network.
+// NewWalker returns a reusable traverser for the network. The Env is
+// copied; later changes to it do not affect the Walker.
 func NewWalker(n *Network, env *Env) *Walker {
-	return &Walker{n: n, env: env, visited: make(map[visitKey]bool)}
+	w := &Walker{n: n, visited: make(map[visitKey]bool)}
+	if env != nil {
+		w.env = *env
+	}
+	return w
 }
 
 // Behavior computes the packet's behavior like Network.Behavior, reusing
@@ -293,8 +314,16 @@ func (w *Walker) Behavior(ingress int, pkt []byte, leaf *aptree.Node) *Behavior 
 		Deliveries: w.beh.Deliveries[:0],
 		Drops:      w.beh.Drops[:0],
 	}
-	w.n.behaviorInto(w.env, ingress, pkt, leaf, &w.beh, w.visited, &w.queue)
+	w.n.behaviorInto(&w.env, ingress, pkt, leaf, &w.beh, w.visited, &w.queue)
 	return &w.beh
+}
+
+// BehaviorPinned runs the traversal against src instead of the Walker's
+// default Source. Pass the epoch snapshot the leaf was classified under
+// so the whole query — stage 1 and stage 2 — observes one epoch.
+func (w *Walker) BehaviorPinned(src Source, ingress int, pkt []byte, leaf *aptree.Node) *Behavior {
+	w.env.Source = src
+	return w.Behavior(ingress, pkt, leaf)
 }
 
 // Behavior computes the network-wide behavior of a packet that enters at

@@ -31,11 +31,7 @@ func fig1Net(t *testing.T) (*Network, *aptree.Manager, *Env, [3]int32) {
 	n.AttachHost(b2, 0, "h2")
 	n.Boxes[b2].Ports[0].Fwd = p3
 
-	env := &Env{
-		Classify: m.Classify,
-		Version:  m.Version,
-		IsLive:   m.IsLive,
-	}
+	env := &Env{Source: m}
 	return n, m, env, [3]int32{p1, p2, p3}
 }
 
@@ -159,7 +155,7 @@ func TestLoopDetection(t *testing.T) {
 	n.Boxes[b1].Ports[0].Fwd = p
 	n.Boxes[b2].Ports[0].Fwd = p
 	n.Link(b1, 0, b2, 0)
-	env := &Env{Classify: m.Classify, Version: m.Version, IsLive: m.IsLive}
+	env := &Env{Source: m}
 	pkt := []byte{0b10000001}
 	b := n.Behavior(env, b1, pkt, classify(m, pkt))
 	foundLoop := false
@@ -189,7 +185,7 @@ func TestMulticast(t *testing.T) {
 	n.AttachHost(b3, 0, "h2")
 	n.Boxes[b2].Ports[0].Fwd = p
 	n.Boxes[b3].Ports[0].Fwd = p
-	env := &Env{Classify: m.Classify, Version: m.Version, IsLive: m.IsLive}
+	env := &Env{Source: m}
 	pkt := []byte{0b10000001} // in both p and q
 	b := n.Behavior(env, b1, pkt, classify(m, pkt))
 	if !b.Delivered("h1") || !b.Delivered("h2") {
@@ -209,7 +205,7 @@ func TestDanglingPort(t *testing.T) {
 	n := New()
 	b1 := n.AddBox("b1", 1)
 	n.Boxes[b1].Ports[0].Fwd = p // peer left at DestNone
-	env := &Env{Classify: m.Classify, Version: m.Version, IsLive: m.IsLive}
+	env := &Env{Source: m}
 	pkt := []byte{0b10000001}
 	b := n.Behavior(env, b1, pkt, classify(m, pkt))
 	if len(b.Drops) != 1 || b.Drops[0].Reason != DropDangling {
@@ -245,7 +241,7 @@ func mbNet(t *testing.T, typ MBType) (*Network, *aptree.Manager, *Env) {
 			}),
 		}},
 	}
-	env := &Env{Classify: m.Classify, Version: m.Version, IsLive: m.IsLive}
+	env := &Env{Source: m}
 	return n, m, env
 }
 
@@ -456,7 +452,7 @@ func TestHopBudget(t *testing.T) {
 	for i := 0; i+1 < chain; i++ {
 		n.Boxes[ids[i]].Ports[0].Peer = Dest{Kind: DestBox, Box: ids[i+1], Port: 0}
 	}
-	env := &Env{Classify: m.Classify, Version: m.Version, IsLive: m.IsLive, MaxHops: 3}
+	env := &Env{Source: m, MaxHops: 3}
 	pkt := []byte{0b10000001}
 	b := n.Behavior(env, ids[0], pkt, classify(m, pkt))
 	budget := false

@@ -15,8 +15,16 @@ type Bitset []uint64
 // NewBitset returns a bitset able to hold n bits.
 func NewBitset(n int) Bitset { return make(Bitset, (n+63)/64) }
 
-// Get reports bit i.
-func (b Bitset) Get(i int) bool { return b[i>>6]&(1<<uint(i&63)) != 0 }
+// Get reports bit i. Indices past the vector's capacity read as clear:
+// a membership vector sized for an older predicate-ID space answers
+// "not a member" for predicates registered since, which is exactly the
+// semantics persistent AP Tree snapshots need for shared leaves.
+func (b Bitset) Get(i int) bool {
+	if w := i >> 6; w < len(b) {
+		return b[w]&(1<<uint(i&63)) != 0
+	}
+	return false
+}
 
 // Set sets bit i to v.
 func (b Bitset) Set(i int, v bool) {

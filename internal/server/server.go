@@ -13,9 +13,13 @@
 //	GET  /verify/loops              → loop-freedom check over all packets
 //	GET  /verify/reach?from=a&host=h → exact reachability summary
 //
-// The handler serializes every request with one lock: queries are
-// microseconds, and rule updates must not interleave with behavior
-// computation (the facade documents the same requirement).
+// Queries and stats run concurrently under a read lock: each request
+// resolves one classifier snapshot and answers entirely from that epoch,
+// so classification never waits on another query. The lock exists for
+// the topology, not the classifier — rule updates rewrite port
+// predicate IDs in plain fields, so mutating endpoints (and the
+// verification sweeps, which perform BDD operations on the live DD)
+// take the write lock.
 package server
 
 import (
@@ -34,7 +38,10 @@ import (
 
 // Server wraps a classifier with an HTTP API.
 type Server struct {
-	mu sync.Mutex
+	// mu guards the topology and dataset: read-locked by query/stats
+	// handlers (which pin a classifier snapshot for everything else),
+	// write-locked by rule updates and verification sweeps.
+	mu sync.RWMutex
 	c  *apclassifier.Classifier
 	ds *netgen.Dataset
 }
@@ -83,18 +90,23 @@ type StatsResponse struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	// One snapshot serves the whole response: predicate count, atom
+	// count, depth, memory and version all describe the same epoch, and
+	// the BDD statistics come from the epoch's frozen view rather than
+	// from the live DD a concurrent update may be growing.
+	snap := s.c.Snapshot()
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Dataset:    s.ds.Name,
 		Boxes:      len(s.ds.Boxes),
 		Rules:      s.ds.NumRules(),
 		ACLRules:   s.ds.NumACLRules(),
-		Predicates: s.c.NumPredicates(),
-		Atoms:      s.c.NumAtoms(),
-		AvgDepth:   s.c.AverageDepth(),
-		LiveMemMB:  float64(s.c.Manager.DD().LiveMemBytes()) / 1e6,
-		Version:    s.c.Manager.Version(),
+		Predicates: snap.NumPredicates(),
+		Atoms:      snap.NumAtoms(),
+		AvgDepth:   snap.AverageDepth(),
+		LiveMemMB:  float64(snap.LiveMemBytes()) / 1e6,
+		Version:    snap.Version(),
 	})
 }
 
@@ -136,16 +148,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	ingress := s.c.Net.BoxByName(req.Ingress)
 	if ingress < 0 {
 		writeErr(w, http.StatusBadRequest, "unknown ingress box %q", req.Ingress)
 		return
 	}
 	pkt := s.ds.PacketFromFields(f)
-	leaf := s.c.Classify(pkt)
-	b := s.c.Behavior(ingress, pkt)
+	// Pin one epoch for the whole request so the reported atom and the
+	// traversal agree even if the tree is swapped mid-request.
+	snap := s.c.Snapshot()
+	leaf := snap.Classify(pkt)
+	b := snap.Behavior(ingress, pkt)
 	resp := QueryResponse{Atom: leaf.AtomID, Depth: leaf.Depth}
 	for _, d := range b.Deliveries {
 		resp.Delivered = append(resp.Delivered, d.Host)

@@ -1,0 +1,71 @@
+package apclassifier
+
+import (
+	"apclassifier/internal/aptree"
+	"apclassifier/internal/header"
+	"apclassifier/internal/network"
+)
+
+// Snapshot is one immutable epoch of the classifier, pinned at the
+// moment Classifier.Snapshot was called. Every query method answers
+// against that epoch — the same AP Tree, BDD view and predicate
+// liveness — no matter how many updates or reconstructions the live
+// classifier absorbs afterwards, and none of them takes a lock.
+//
+// Use a Snapshot when a batch of queries must be mutually consistent
+// (an invariant sweep, a what-if analysis, a /stats report), or simply
+// to amortize the one atomic load per query that Classifier.Behavior
+// performs. Snapshots are safe for concurrent use by any number of
+// goroutines and may be retained indefinitely; an old epoch's memory is
+// reclaimed by Go's GC once the last snapshot referencing it is
+// dropped.
+//
+// Topology is not part of the snapshot: rule updates that rewire port
+// predicate IDs still require external synchronization with in-flight
+// queries, exactly as Classifier documents.
+type Snapshot struct {
+	c *Classifier
+	s *aptree.Snapshot
+}
+
+// Snapshot pins the current epoch.
+func (c *Classifier) Snapshot() *Snapshot {
+	return &Snapshot{c: c, s: c.Manager.Snapshot()}
+}
+
+// Version reports the reconstruction epoch this snapshot is pinned to.
+func (s *Snapshot) Version() uint64 { return s.s.Version() }
+
+// Classify runs stage 1 against the pinned epoch.
+func (s *Snapshot) Classify(pkt header.Packet) *aptree.Node {
+	leaf, _ := s.s.Classify(pkt)
+	return leaf
+}
+
+// Behavior runs both stages against the pinned epoch.
+func (s *Snapshot) Behavior(ingress int, pkt header.Packet) *network.Behavior {
+	leaf, _ := s.s.Classify(pkt)
+	return s.c.Net.Behavior(&network.Env{Source: s.s}, ingress, pkt, leaf)
+}
+
+// BehaviorWith is Behavior using the caller's Walker scratch space.
+func (s *Snapshot) BehaviorWith(w *network.Walker, ingress int, pkt header.Packet) *network.Behavior {
+	leaf, _ := s.s.Classify(pkt)
+	return w.BehaviorPinned(s.s, ingress, pkt, leaf)
+}
+
+// NumPredicates reports the number of live predicates in the epoch.
+func (s *Snapshot) NumPredicates() int { return s.s.NumLive() }
+
+// NumAtoms reports the number of leaves of the epoch's tree.
+func (s *Snapshot) NumAtoms() int { return s.s.Tree().NumLeaves() }
+
+// AverageDepth reports the epoch tree's mean leaf depth.
+func (s *Snapshot) AverageDepth() float64 { return s.s.Tree().AverageDepth() }
+
+// LiveMemBytes reports the live BDD bytes of the epoch's frozen view.
+func (s *Snapshot) LiveMemBytes() int { return s.s.View().LiveMemBytes() }
+
+// Source exposes the pinned epoch as a stage-2 source, for driving
+// network.Behavior or middleboxes directly.
+func (s *Snapshot) Source() network.Source { return s.s }
