@@ -19,7 +19,13 @@ APDEBUG_PKGS := ./internal/bdd ./internal/aptree
 # performance gate — numbers live in EXPERIMENTS.md.
 BENCH_SMOKE := ^(BenchmarkManagerClassify|BenchmarkParallelClassify|BenchmarkParallelClassifyWithUpdates)$$
 
-.PHONY: build test vet lint race apdebug bench-smoke check
+# Coverage floor for the observability layer: metrics and traces are what
+# operators debug incidents with, so internal/obs stays near-fully tested.
+COVER_PKG   := ./internal/obs
+COVER_FLOOR := 90.0
+COVER_OUT   := coverage-obs.out
+
+.PHONY: build test vet lint race apdebug bench-smoke cover check
 
 build:
 	$(GO) build ./...
@@ -44,5 +50,12 @@ apdebug:
 bench-smoke:
 	$(GO) test -run '^$$' -bench '$(BENCH_SMOKE)' -benchtime 200x -cpu 1,4 ./internal/aptree
 
-check: build vet test lint race apdebug bench-smoke
+cover:
+	$(GO) test -coverprofile=$(COVER_OUT) $(COVER_PKG)
+	@total=$$($(GO) tool cover -func=$(COVER_OUT) | awk '/^total:/ { gsub("%","",$$3); print $$3 }'); \
+	echo "$(COVER_PKG) coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit !(t+0 >= f+0) }' || \
+		{ echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
+
+check: build vet test lint race apdebug bench-smoke cover
 	@echo "all gates passed"

@@ -28,12 +28,14 @@ package apclassifier
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"apclassifier/internal/aptree"
 	"apclassifier/internal/bdd"
 	"apclassifier/internal/header"
 	"apclassifier/internal/netgen"
 	"apclassifier/internal/network"
+	"apclassifier/internal/obs"
 	"apclassifier/internal/predicate"
 	"apclassifier/internal/rule"
 )
@@ -79,6 +81,10 @@ type Classifier struct {
 	PortPred [][]int32
 
 	env *network.Env
+
+	// sink, when non-nil, receives per-query stage traces from Behavior
+	// and BehaviorWith; see SetTraceSink for the hook contract.
+	sink atomic.Pointer[obs.TraceRing]
 }
 
 // New compiles a dataset: converts every forwarding table and ACL to
@@ -233,6 +239,9 @@ func (c *Classifier) Classify(pkt header.Packet) *aptree.Node {
 // pinned to one snapshot epoch and acquires no lock; it runs safely
 // concurrent with updates and reconstructions.
 func (c *Classifier) Behavior(ingress int, pkt header.Packet) *network.Behavior {
+	if ring := c.sink.Load(); ring != nil {
+		return c.traceQuery(ring, nil, ingress, pkt)
+	}
 	s := c.Manager.Snapshot()
 	leaf, _ := s.Classify(pkt)
 	return c.Net.Behavior(&network.Env{Source: s}, ingress, pkt, leaf)
@@ -248,6 +257,9 @@ func (c *Classifier) NewWalker() *network.Walker {
 // snapshot epoch like Behavior; the result is valid until the Walker's
 // next query.
 func (c *Classifier) BehaviorWith(w *network.Walker, ingress int, pkt header.Packet) *network.Behavior {
+	if ring := c.sink.Load(); ring != nil {
+		return c.traceQuery(ring, w, ingress, pkt)
+	}
 	s := c.Manager.Snapshot()
 	leaf, _ := s.Classify(pkt)
 	return w.BehaviorPinned(s, ingress, pkt, leaf)

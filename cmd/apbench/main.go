@@ -8,6 +8,11 @@
 // At -scale full the rule volumes match Table I of the paper (≈126k rules
 // for Internet2, ≈757k + 1,584 ACL rules for Stanford); expect several
 // minutes of dataset compilation.
+//
+// -metrics dumps the process-wide obs registry (the same registry
+// apserver's /metrics serves) in Prometheus text format after the
+// selected experiments finish, so offline benchmark numbers and
+// production metrics come from one instrumentation source.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"time"
 
 	"apclassifier/internal/experiments"
+	"apclassifier/internal/obs"
 )
 
 func main() {
@@ -25,6 +31,7 @@ func main() {
 	runFlag := flag.String("run", "all", "comma-separated experiment ids (tableI,fig4,fig9,fig10,mem,fig11,fig12,fig12par,fig13,fig14,fig14par,fig15,tableII,optgap,scaling) or 'all'")
 	dur := flag.Duration("dur", 200*time.Millisecond, "minimum measurement duration per throughput point")
 	trees := flag.Int("trees", 0, "random trees for fig4/fig9/fig10/fig12 (0 = scale default)")
+	metrics := flag.String("metrics", "", "after the run, dump the obs registry in Prometheus text format to this file ('-' for stdout)")
 	flag.Parse()
 
 	if *scaleFlag != "" {
@@ -119,4 +126,27 @@ func main() {
 		}
 		print(env.Scaling(scales, 256, *dur))
 	}
+
+	if *metrics != "" {
+		if err := dumpMetrics(*metrics); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// dumpMetrics writes the process-wide registry to path ('-' = stdout).
+func dumpMetrics(path string) error {
+	if path == "-" {
+		return obs.Default.WritePrometheus(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.Default.WritePrometheus(f); err != nil {
+		_ = f.Close() // the write error is the one worth reporting
+		return err
+	}
+	return f.Close()
 }

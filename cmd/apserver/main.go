@@ -6,6 +6,12 @@
 //	curl -s -X POST localhost:8080/query -d '{"ingress":"seattle","dst":"10.1.2.3"}'
 //	curl -s -X POST localhost:8080/rules/add -d '{"box":"seattle","prefix":"240.0.0.0/8","port":-1}'
 //	curl -s localhost:8080/verify/loops
+//
+// Observability (see README "Observability"):
+//
+//	curl -s localhost:8080/metrics        # Prometheus text exposition
+//	curl -s localhost:8080/debug/trace?n=8 # last 8 per-query stage traces
+//	go tool pprof localhost:8080/debug/pprof/profile
 package main
 
 import (

@@ -1,0 +1,198 @@
+package apclassifier
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"apclassifier/internal/baseline"
+	"apclassifier/internal/bdd"
+	"apclassifier/internal/netgen"
+	"apclassifier/internal/rule"
+)
+
+// diffDatasets enumerates every netgen generator at test-friendly scale.
+func diffDatasets() map[string]*netgen.Dataset {
+	return map[string]*netgen.Dataset{
+		"internet2":   netgen.Internet2Like(netgen.Config{Seed: 41, RuleScale: 0.01}),
+		"stanford":    netgen.StanfordLike(netgen.Config{Seed: 42, RuleScale: 0.003}),
+		"multitenant": netgen.MultiTenantLike(4, 3, 43),
+	}
+}
+
+func diffPrefixMask(length int) uint32 {
+	if length == 0 {
+		return 0
+	}
+	return ^uint32(0) << uint(32-length)
+}
+
+// boundaryFields builds headers that sit exactly on classification edges:
+// the first and last address of installed prefixes, the addresses one
+// before and one past each prefix, the all-zero and all-one destinations,
+// and port/proto extremes (which straddle ACL range boundaries on the
+// five-tuple datasets).
+func boundaryFields(ds *netgen.Dataset, rng *rand.Rand, rulesPerBox int) []rule.Fields {
+	var out []rule.Fields
+	add := func(dst uint32) {
+		out = append(out, rule.Fields{
+			Src:     rng.Uint32(),
+			Dst:     dst,
+			SrcPort: uint16(rng.Intn(65536)),
+			DstPort: uint16(rng.Intn(65536)),
+			Proto:   []uint8{6, 17, 1, 47}[rng.Intn(4)],
+		})
+	}
+	add(0)
+	add(^uint32(0))
+	for bi := range ds.Boxes {
+		rules := ds.Boxes[bi].Fwd.Rules
+		n := rulesPerBox
+		if len(rules) < n {
+			n = len(rules)
+		}
+		for _, r := range rules[:n] {
+			lo := r.Prefix.Value
+			hi := r.Prefix.Value | ^diffPrefixMask(r.Prefix.Length)
+			add(lo)
+			add(hi)
+			add(lo - 1) // wraps to all-ones for lo==0: still a valid probe
+			add(hi + 1)
+		}
+	}
+	// Port and proto extremes on a fixed routed-ish destination: ACL rules
+	// on the five-tuple datasets carry port ranges and proto equalities.
+	base := out[len(out)/2].Dst
+	for _, sp := range []uint16{0, 65535} {
+		for _, dp := range []uint16{0, 65535} {
+			for _, pr := range []uint8{0, 6, 255} {
+				out = append(out, rule.Fields{Src: rng.Uint32(), Dst: base, SrcPort: sp, DstPort: dp, Proto: pr})
+			}
+		}
+	}
+	return out
+}
+
+func sortedHosts(hosts []string) []string {
+	out := append([]string(nil), hosts...)
+	sort.Strings(out)
+	return out
+}
+
+func hostsEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestClassifyMatchesBaseline is the differential satellite: for every
+// netgen dataset it pushes random and boundary headers through the AP
+// Tree and checks, against the linear-scan baseline oracles, that
+//
+//   - the leaf's atom BDD actually contains the packet, and is the very
+//     atom APLinear finds by scanning the atom list (hash-consing makes
+//     equal functions identical refs, so this is pointer-strength);
+//   - the leaf's membership vector agrees with PScan evaluating every
+//     live predicate directly on the packet;
+//   - the stage-2 behavior walk delivers to exactly the hosts the
+//     rule-table simulator and the per-box forwarding simulation reach,
+//     and drops in the same places.
+func TestClassifyMatchesBaseline(t *testing.T) {
+	for name, ds := range diffDatasets() {
+		t.Run(name, func(t *testing.T) {
+			c, err := New(ds, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := c.Manager.DD()
+			in := c.TreeInput()
+			ap := &baseline.APLinear{D: d, Atoms: in.Atoms}
+			ids := c.Manager.LiveIDs()
+			refs := make([]bdd.Ref, len(ids))
+			capBits := 0
+			for i, id := range ids {
+				refs[i] = c.Manager.Ref(id)
+				if int(id) >= capBits {
+					capBits = int(id) + 1
+				}
+			}
+			ps := baseline.NewPScan(d, ids, refs, capBits)
+			sim := baseline.ManagerEnv(c.Manager, c.Net)
+
+			rng := rand.New(rand.NewSource(44))
+			probes := boundaryFields(ds, rng, 4)
+			for i := 0; i < 200; i++ {
+				probes = append(probes, ds.RandomFields(rng))
+			}
+
+			for i, f := range probes {
+				pkt := ds.PacketFromFields(f)
+				leaf := c.Classify(pkt)
+
+				// Stage 1: atomic predicate agreement.
+				if !d.EvalBits(leaf.BDD, pkt) {
+					t.Fatalf("probe %d: packet not contained in its own leaf atom", i)
+				}
+				apIdx := ap.Classify(pkt)
+				if apIdx < 0 {
+					t.Fatalf("probe %d: APLinear found no atom", i)
+				}
+				if in.Atoms.List[apIdx] != leaf.BDD {
+					t.Fatalf("probe %d: tree atom ref %d != APLinear atom ref %d",
+						i, leaf.BDD, in.Atoms.List[apIdx])
+				}
+				member := ps.Member(pkt)
+				for _, id := range ids {
+					if member.Get(int(id)) != leaf.Member.Get(int(id)) {
+						t.Fatalf("probe %d: PScan and tree disagree on predicate %d", i, id)
+					}
+				}
+
+				// Stage 2: behavior walk agreement.
+				ingress := rng.Intn(len(ds.Boxes))
+				want := ds.Simulate(ingress, f)
+				b := c.Behavior(ingress, pkt)
+				var got []string
+				for _, del := range b.Deliveries {
+					got = append(got, del.Host)
+				}
+				if !hostsEqual(sortedHosts(want.Delivered), sortedHosts(got)) {
+					t.Fatalf("probe %d from box %d: oracle delivers %v, walk delivers %v",
+						i, ingress, want.Delivered, got)
+				}
+				fs := sim.Behavior(ingress, pkt)
+				if !hostsEqual(sortedHosts(fs.Delivered), sortedHosts(got)) {
+					t.Fatalf("probe %d from box %d: FwdSim delivers %v, walk delivers %v",
+						i, ingress, fs.Delivered, got)
+				}
+				if !want.Looped {
+					// Loop-free traffic must die in the same boxes. (On a
+					// loop, the simulators count drop sites differently.)
+					wd := append([]int(nil), want.DropBoxes...)
+					var gd []int
+					for _, dr := range b.Drops {
+						gd = append(gd, dr.Box)
+					}
+					sort.Ints(wd)
+					sort.Ints(gd)
+					if len(wd) != len(gd) {
+						t.Fatalf("probe %d from box %d: oracle drops at %v, walk drops at %v",
+							i, ingress, wd, gd)
+					}
+					for j := range wd {
+						if wd[j] != gd[j] {
+							t.Fatalf("probe %d from box %d: oracle drops at %v, walk drops at %v",
+								i, ingress, wd, gd)
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -48,6 +48,17 @@ type Manager struct {
 	// triggers on it (§VI-B: "the number of updates on the current AP
 	// Tree is higher than a threshold").
 	updatesSinceSwap int
+
+	// retiredVisits accumulates, at each reconstruction swap, the visit
+	// total of the tree lineage being retired. Together with the live
+	// lineage's counters it derives TotalClassifications without adding
+	// any work to the lock-free Classify path. Queries still pinned to a
+	// retired epoch keep incrementing the old lineage's counters; those
+	// late increments are not folded in, so the derived total is a slight
+	// undercount under heavy swap churn — an accepted trade for a
+	// zero-cost query path.
+	//lint:guard mu
+	retiredVisits uint64
 }
 
 type journalOp struct {
@@ -102,6 +113,10 @@ func (m *Manager) publishLocked() {
 		count:   m.tree.CountVisits,
 		visits:  m.tree.visits.view(),
 	})
+	// Publish boundaries are also the metrics flush points: the write
+	// lock is held, so the DD's plain counters are stable to read.
+	m.d.PublishStats()
+	mPublishes.Inc()
 }
 
 // Snapshot returns the current published epoch. The result is immutable
@@ -193,10 +208,13 @@ func (tx *Tx) Delete(id int32) {
 // one Update so queries see them atomically: concurrent queries answer
 // from the previous epoch until the single publish at the end.
 func (m *Manager) Update(fn func(tx *Tx)) {
+	start := time.Now()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	fn(&Tx{m})
 	m.publishLocked()
+	mUpdates.Inc()
+	mUpdateDur.Record(time.Since(start).Seconds())
 }
 
 // AddPredicate registers a new predicate and updates the live tree in real
@@ -240,8 +258,10 @@ func (m *Manager) LiveIDs() []int32 {
 // with Classify/AddPredicate/DeletePredicate; concurrent Reconstruct calls
 // serialize.
 func (m *Manager) Reconstruct(weighted bool) {
+	start := time.Now()
 	m.rebuildMu.Lock()
 	defer m.rebuildMu.Unlock()
+	defer func() { mRebuildDur.Record(time.Since(start).Seconds()) }()
 
 	// Phase 1: open the journal and snapshot the live predicate set.
 	m.mu.Lock()
@@ -333,9 +353,14 @@ func (m *Manager) Reconstruct(weighted bool) {
 			m.reg.refs[id] = bdd.False
 		}
 	}
+	// Retire the old epoch's counters: flush the abandoned DD's work
+	// stats one last time and bank the old lineage's visit total.
+	m.d.PublishStats()
+	m.retiredVisits += m.tree.visits.total()
 	m.d = newD
 	m.tree = newTree
 	m.version++
+	mSwaps.Inc()
 	// Updates replayed from the journal are already in the new tree but
 	// count toward the next rebuild trigger, since the new tree was not
 	// optimized for them.

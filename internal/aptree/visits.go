@@ -112,8 +112,9 @@ func (v visitView) count(atom int32) uint64 {
 // stripeHint derives a stripe index from the address of a stack variable.
 // Goroutine stacks are distinct allocations, so concurrent classifiers
 // land on different stripes with high probability; the hint only affects
-// contention, never correctness. This is the only unsafe use in the
-// module, and it never converts back from uintptr.
+// contention, never correctness. The obs package's striped counters use
+// the same technique; like there, the pointer is only ever hashed, never
+// converted back from uintptr.
 func stripeHint() int {
 	var b byte
 	p := uintptr(unsafe.Pointer(&b))

@@ -64,6 +64,11 @@ type DD struct {
 	roots map[Ref]int
 
 	ops uint64 // statistics: number of apply steps performed
+
+	// stats holds the remaining work counters (see Stats); published is
+	// the watermark of what PublishStats already flushed to obs.
+	stats     Stats
+	published Stats
 }
 
 // New returns a DD over numVars Boolean variables.
@@ -144,6 +149,7 @@ func (d *DD) mk(level int32, low, high Ref) Ref {
 			return r
 		}
 	}
+	d.stats.NodesAllocated++
 	var r Ref
 	if n := len(d.free); n > 0 {
 		r = d.free[n-1]
@@ -223,8 +229,10 @@ func (d *DD) Not(f Ref) Ref {
 		return False
 	}
 	if r, ok := d.cache.get2(opNot, f, 0); ok {
+		d.stats.CacheHits++
 		return r
 	}
+	d.stats.CacheMisses++
 	d.ops++
 	n := d.nodes[f]
 	r := d.mk(n.level, d.Not(n.low), d.Not(n.high))
@@ -312,8 +320,10 @@ func (d *DD) apply(op uint8, f, g Ref) Ref {
 		}
 	}
 	if r, ok := d.cache.get2(op, f, g); ok {
+		d.stats.CacheHits++
 		return r
 	}
+	d.stats.CacheMisses++
 	d.ops++
 	nf, ng := d.nodes[f], d.nodes[g]
 	var level int32
@@ -346,8 +356,10 @@ func (d *DD) Ite(f, g, h Ref) Ref {
 		return d.Not(f)
 	}
 	if r, ok := d.cache.get3(opIte, f, g, h); ok {
+		d.stats.CacheHits++
 		return r
 	}
+	d.stats.CacheMisses++
 	d.ops++
 	level := d.nodes[f].level
 	if l := d.nodes[g].level; l < level {
@@ -557,6 +569,8 @@ func (d *DD) GC() int {
 	d.live -= freed
 	d.rehash(len(d.buckets))
 	d.cache.clear()
+	d.stats.GCRuns++
+	d.stats.GCFreed += uint64(freed)
 	d.debugAfterGC()
 	return freed
 }

@@ -1,0 +1,67 @@
+package bdd
+
+import "apclassifier/internal/obs"
+
+// Stats is a snapshot of a DD's cumulative work counters. The fields are
+// plain integers maintained by the DD's single mutating goroutine (the
+// classifier serializes all node-allocating work under the manager's
+// write lock), so updating them costs one register increment in the
+// already-memory-bound apply/mk loops — no atomics, no sharing.
+type Stats struct {
+	// Ops is the number of apply steps (cache-missing recursive calls).
+	Ops uint64
+	// NodesAllocated counts unique-table misses that allocated or reused
+	// a node slot. Shared (hash-consed) hits do not count.
+	NodesAllocated uint64
+	// CacheHits / CacheMisses count operation-cache probes.
+	CacheHits   uint64
+	CacheMisses uint64
+	// GCRuns counts garbage collections; GCFreed sums nodes reclaimed.
+	GCRuns  uint64
+	GCFreed uint64
+}
+
+// Stats returns the DD's cumulative counters. Like all mutating-path
+// state it must not be called concurrently with operations that allocate
+// nodes.
+func (d *DD) Stats() Stats {
+	s := d.stats
+	s.Ops = d.ops
+	return s
+}
+
+// Process-wide bdd counters, aggregated across every DD that publishes.
+// Registered at package init so /metrics exposes the family even before
+// the first flush.
+var (
+	mNodesAllocated = obs.Default.Counter("apc_bdd_nodes_allocated_total",
+		"BDD nodes allocated (unique-table misses), summed over published DDs.")
+	mCacheHits = obs.Default.Counter("apc_bdd_cache_hits_total",
+		"BDD operation-cache hits, summed over published DDs.")
+	mCacheMisses = obs.Default.Counter("apc_bdd_cache_misses_total",
+		"BDD operation-cache misses, summed over published DDs.")
+	mApplyOps = obs.Default.Counter("apc_bdd_apply_ops_total",
+		"BDD apply steps performed, summed over published DDs.")
+	mGCRuns = obs.Default.Counter("apc_bdd_gc_runs_total",
+		"BDD garbage collections, summed over published DDs.")
+	mGCFreed = obs.Default.Counter("apc_bdd_gc_freed_nodes_total",
+		"BDD nodes reclaimed by garbage collection, summed over published DDs.")
+)
+
+// PublishStats flushes the delta of the DD's counters since the last
+// flush into the process-wide obs registry. The manager calls it at
+// publish boundaries (snapshot republish, pre-swap retirement), keeping
+// the per-operation hot loops free of atomics: the only atomic writes
+// happen here, a handful per flush. Callers must serialize it with the
+// DD's mutating operations (the manager holds its write lock).
+func (d *DD) PublishStats() {
+	s := d.Stats()
+	p := d.published
+	mNodesAllocated.Add(s.NodesAllocated - p.NodesAllocated)
+	mCacheHits.Add(s.CacheHits - p.CacheHits)
+	mCacheMisses.Add(s.CacheMisses - p.CacheMisses)
+	mApplyOps.Add(s.Ops - p.Ops)
+	mGCRuns.Add(s.GCRuns - p.GCRuns)
+	mGCFreed.Add(s.GCFreed - p.GCFreed)
+	d.published = s
+}

@@ -1,0 +1,42 @@
+package network
+
+import "apclassifier/internal/obs"
+
+// Stage-2 traversal counters. behaviorInto accumulates locally and
+// flushes once per walk (plus one striped add per terminal event), so a
+// traversal of h hops costs a handful of atomic adds total — not one per
+// hop — and the walk loop itself stays allocation- and atomic-free.
+var (
+	mWalks = obs.Default.Counter("apc_network_walks_total",
+		"Stage-2 behavior traversals computed.")
+	mHops = obs.Default.Counter("apc_network_hops_total",
+		"Boxes processed across all stage-2 traversals (multicast branches included).")
+	mDeliveries = obs.Default.Counter("apc_network_deliveries_total",
+		"Traversal branches that reached an end host.")
+	mRewrites = obs.Default.Counter("apc_network_rewrites_total",
+		"Middlebox header rewrites applied during traversals.")
+	mDropVec = obs.Default.CounterVec("apc_network_drops_total",
+		"Traversal branches that ended in a drop, by reason.", "reason")
+
+	// dropCounters resolves each known reason's child once at init, so
+	// the per-walk flush never takes the CounterVec mutex.
+	dropCounters = map[DropReason]*obs.Counter{
+		DropNoRoute:   mDropVec.With(string(DropNoRoute)),
+		DropInACL:     mDropVec.With(string(DropInACL)),
+		DropOutACL:    mDropVec.With(string(DropOutACL)),
+		DropDangling:  mDropVec.With(string(DropDangling)),
+		DropLoop:      mDropVec.With(string(DropLoop)),
+		DropHopBudget: mDropVec.With(string(DropHopBudget)),
+		DropMiddlebox: mDropVec.With(string(DropMiddlebox)),
+	}
+)
+
+// countDrop bumps the per-reason drop counter, falling back to the
+// (mutex-guarded) vec for reasons not known at init.
+func countDrop(r DropReason) {
+	if c, ok := dropCounters[r]; ok {
+		c.Inc()
+		return
+	}
+	mDropVec.With(string(r)).Inc()
+}

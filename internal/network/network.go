@@ -342,9 +342,24 @@ func (n *Network) behaviorInto(env *Env, ingress int, pkt []byte, leaf *aptree.N
 	if maxHops == 0 {
 		maxHops = 4*len(n.Boxes) + 16
 	}
+	// Metrics are accumulated in locals and flushed once at the end; the
+	// walk loop itself performs no atomic operations. Walker reuses b, so
+	// deltas are taken against the lengths at entry.
+	hops := 0
+	startDeliveries, startDrops, startRewrites := len(b.Deliveries), len(b.Drops), b.Rewrites
+	defer func() {
+		mWalks.Inc()
+		mHops.Add(uint64(hops))
+		mDeliveries.Add(uint64(len(b.Deliveries) - startDeliveries))
+		mRewrites.Add(uint64(b.Rewrites - startRewrites))
+		for _, d := range b.Drops[startDrops:] {
+			countDrop(d.Reason)
+		}
+	}()
 	queue := append(*queuep, workItem{box: ingress, pkt: pkt, leaf: leaf})
 	defer func() { *queuep = queue[:0] }()
 	for len(queue) > 0 {
+		hops++
 		w := queue[0]
 		queue = queue[1:]
 		if w.hops > maxHops {

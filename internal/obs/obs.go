@@ -1,0 +1,172 @@
+// Package obs is the observability substrate of the classifier: a
+// stdlib-only metrics registry (counters, gauges, fixed-bucket latency
+// histograms) with Prometheus text exposition, plus a lightweight
+// per-query trace ring.
+//
+// The package exists because the paper's headline claims are
+// quantitative — microsecond query latency, AP Tree depth, update cost
+// under churn — and a production deployment has to observe them at
+// runtime, not only in offline apbench runs. Design constraints follow
+// from the lock-free query path (see DESIGN.md §3 and §7):
+//
+//   - Counters are striped: each goroutine increments its own stripe on
+//     a private cache line, so hot-path increments never bounce a line
+//     between cores the way a single shared atomic would. Reads sum the
+//     stripes.
+//   - Histogram recording is zero-allocation: a bucket index search over
+//     a fixed bounds slice and three atomic operations.
+//   - Nothing in this package takes a lock on a record path. The only
+//     mutexes guard registration (cold) and the trace ring (opt-in).
+//
+// The Default registry is process-wide; instrumented layers (bdd,
+// aptree, network) register their counters at init. Per-classifier
+// gauges are registered explicitly via apclassifier.RegisterMetrics so
+// that processes with several classifiers (the experiment harness)
+// choose which instance /metrics describes.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registry holds named metrics and renders them in Prometheus text
+// exposition format. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu sync.Mutex
+	//lint:guard mu
+	families map[string]metric
+}
+
+// metric is anything the registry can expose. Implementations must be
+// safe for concurrent sampling.
+type metric interface {
+	metricType() string // "counter", "gauge" or "histogram"
+	metricHelp() string
+	// sampleLines appends exposition lines (without trailing newline
+	// handling; each line complete) for this family.
+	sampleLines(name string, add func(line string))
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]metric)}
+}
+
+// Default is the process-wide registry that instrumented layers register
+// into and /metrics exposes.
+var Default = NewRegistry()
+
+// register installs m under name, or returns the already-registered
+// metric. Re-registration with a different kind panics: two packages
+// claiming one name as different types is a programming error.
+func (r *Registry) register(name string, mk func() metric) metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if existing, ok := r.families[name]; ok {
+		return existing
+	}
+	m := mk()
+	r.families[name] = m
+	return m
+}
+
+// Counter returns the registered counter, creating it on first use.
+// Panics if name is registered as a different metric kind.
+func (r *Registry) Counter(name, help string) *Counter {
+	m := r.register(name, func() metric { return newCounter(help) })
+	c, ok := m.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("obs: %s already registered as %s", name, m.metricType()))
+	}
+	return c
+}
+
+// Gauge returns the registered gauge, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	m := r.register(name, func() metric { return &Gauge{help: help} })
+	g, ok := m.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("obs: %s already registered as %s", name, m.metricType()))
+	}
+	return g
+}
+
+// Histogram returns the registered histogram, creating it with the given
+// bucket upper bounds (strictly increasing; an implicit +Inf bucket is
+// appended) on first use. Bounds of an existing histogram are kept.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	m := r.register(name, func() metric { return newHistogram(help, bounds) })
+	h, ok := m.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("obs: %s already registered as %s", name, m.metricType()))
+	}
+	return h
+}
+
+// CounterVec returns the registered labeled counter family, creating it
+// on first use. All children share one label name.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	m := r.register(name, func() metric {
+		return &CounterVec{help: help, label: label, children: make(map[string]*Counter)}
+	})
+	v, ok := m.(*CounterVec)
+	if !ok {
+		panic(fmt.Sprintf("obs: %s already registered as %s", name, m.metricType()))
+	}
+	return v
+}
+
+// CounterFunc registers (or rebinds) a counter whose value is computed
+// at scrape time. Rebinding replaces the previous function: callers that
+// construct a new classifier re-register its derived counters and the
+// newest instance wins, which is what tests and reloading servers want.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if existing, ok := r.families[name]; ok {
+		cf, ok := existing.(*counterFunc)
+		if !ok {
+			panic(fmt.Sprintf("obs: %s already registered as %s", name, existing.metricType()))
+		}
+		cf.rebind(fn)
+		return
+	}
+	r.families[name] = &counterFunc{help: help, fn: fn}
+}
+
+// GaugeFunc registers (or rebinds) a gauge computed at scrape time; see
+// CounterFunc for the rebinding rule.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if existing, ok := r.families[name]; ok {
+		gf, ok := existing.(*gaugeFunc)
+		if !ok {
+			panic(fmt.Sprintf("obs: %s already registered as %s", name, existing.metricType()))
+		}
+		gf.rebind(fn)
+		return
+	}
+	r.families[name] = &gaugeFunc{help: help, fn: fn}
+}
+
+// names returns the registered family names, sorted.
+func (r *Registry) names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.families))
+	for name := range r.families {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// lookup returns the metric registered under name, or nil.
+func (r *Registry) lookup(name string) metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.families[name]
+}

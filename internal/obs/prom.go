@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in Prometheus text
+// exposition format (version 0.0.4), families sorted by name, and writes
+// the result to w in a single Write call. It returns any write error.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var buf bytes.Buffer
+	for _, name := range r.names() {
+		m := r.lookup(name)
+		if m == nil { // unregistered concurrently; nothing to render
+			continue
+		}
+		buf.WriteString("# HELP ")
+		buf.WriteString(name)
+		buf.WriteByte(' ')
+		buf.WriteString(escapeHelp(m.metricHelp()))
+		buf.WriteByte('\n')
+		buf.WriteString("# TYPE ")
+		buf.WriteString(name)
+		buf.WriteByte(' ')
+		buf.WriteString(m.metricType())
+		buf.WriteByte('\n')
+		m.sampleLines(name, func(line string) {
+			buf.WriteString(line)
+			buf.WriteByte('\n')
+		})
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// escapeHelp escapes backslash and newline in HELP text as the
+// exposition format requires.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// quoteLabel renders a label value as a double-quoted exposition string,
+// escaping backslash, double quote, and newline.
+func quoteLabel(s string) string {
+	var b strings.Builder
+	b.Grow(len(s) + 2)
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+func formatInt(v int64) string { return strconv.FormatInt(v, 10) }
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// representation that round-trips, with +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

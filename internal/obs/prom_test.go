@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestWritePrometheusGolden renders a registry with one metric of every
+// kind and deterministic values, then compares byte-for-byte against the
+// golden exposition file. Run with -update to regenerate.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+
+	c := r.Counter("apc_demo_requests_total", "Total demo requests.")
+	c.Add(42)
+
+	g := r.Gauge("apc_demo_nodes", "Live demo nodes.")
+	g.Set(-7)
+
+	h := r.Histogram("apc_demo_latency_seconds", "Demo latency.", []float64{0.001, 0.01, 0.1})
+	h.Record(0.0005)
+	h.Record(0.0005)
+	h.Record(0.05)
+	h.Record(5)
+
+	v := r.CounterVec("apc_demo_drops_total", "Demo drops by reason.", "reason")
+	v.With("loop").Add(3)
+	v.With("acl").Inc()
+	v.With(`odd"label\n`).Inc()
+
+	r.CounterFunc("apc_demo_derived_total", "Scrape-time derived counter.", func() uint64 { return 1234 })
+	r.GaugeFunc("apc_demo_ratio", "Scrape-time derived gauge.", func() float64 { return 0.625 })
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition differs from golden.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{1.5, "1.5"},
+		{-2.5, "-2.5"},
+		{2.5e-07, "2.5e-07"},
+		{math.Inf(1), "+Inf"},
+		{math.Inf(-1), "-Inf"},
+		{math.NaN(), "NaN"},
+	}
+	for _, tc := range cases {
+		if got := formatFloat(tc.in); got != tc.want {
+			t.Errorf("formatFloat(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestQuoteLabel(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", `"plain"`},
+		{`back\slash`, `"back\\slash"`},
+		{`qu"ote`, `"qu\"ote"`},
+		{"new\nline", `"new\nline"`},
+	}
+	for _, tc := range cases {
+		if got := quoteLabel(tc.in); got != tc.want {
+			t.Errorf("quoteLabel(%q) = %s, want %s", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestEscapeHelp(t *testing.T) {
+	if got := escapeHelp("plain help"); got != "plain help" {
+		t.Errorf("escapeHelp(plain) = %q", got)
+	}
+	if got := escapeHelp("two\nlines\\x"); got != `two\nlines\\x` {
+		t.Errorf("escapeHelp = %q", got)
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("sink closed") }
+
+func TestWritePrometheusError(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("apc_x_total", "x").Inc()
+	if err := r.WritePrometheus(failWriter{}); err == nil {
+		t.Fatal("expected write error to propagate")
+	}
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTraceRingBasics(t *testing.T) {
+	r := NewTraceRing(4)
+	if r.Len() != 0 {
+		t.Fatalf("fresh ring Len = %d", r.Len())
+	}
+	if got := r.Last(10); got != nil {
+		t.Fatalf("Last on empty ring = %v, want nil", got)
+	}
+	for i := 1; i <= 3; i++ {
+		seq := r.Record(QueryTrace{Atom: i})
+		if seq != uint64(i) {
+			t.Fatalf("Record #%d assigned seq %d", i, seq)
+		}
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	last := r.Last(2)
+	if len(last) != 2 || last[0].Atom != 3 || last[1].Atom != 2 {
+		t.Fatalf("Last(2) = %+v, want newest first (atoms 3,2)", last)
+	}
+}
+
+func TestTraceRingWrapAround(t *testing.T) {
+	r := NewTraceRing(4)
+	for i := 1; i <= 10; i++ {
+		r.Record(QueryTrace{Atom: i})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len after wrap = %d, want 4", r.Len())
+	}
+	got := r.Last(100)
+	if len(got) != 4 {
+		t.Fatalf("Last(100) returned %d entries", len(got))
+	}
+	for i, want := range []int{10, 9, 8, 7} {
+		if got[i].Atom != want {
+			t.Fatalf("Last[%d].Atom = %d, want %d", i, got[i].Atom, want)
+		}
+		if got[i].Seq != uint64(want) {
+			t.Fatalf("Last[%d].Seq = %d, want %d", i, got[i].Seq, want)
+		}
+	}
+	if got := r.Last(0); got != nil {
+		t.Fatalf("Last(0) = %v, want nil", got)
+	}
+}
+
+func TestTraceRingMinCapacity(t *testing.T) {
+	r := NewTraceRing(0)
+	r.Record(QueryTrace{Atom: 1})
+	r.Record(QueryTrace{Atom: 2})
+	got := r.Last(5)
+	if len(got) != 1 || got[0].Atom != 2 {
+		t.Fatalf("capacity-clamped ring Last = %+v", got)
+	}
+}
+
+// TestTraceRingConcurrent exercises the ring under the race detector.
+func TestTraceRingConcurrent(t *testing.T) {
+	r := NewTraceRing(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Record(QueryTrace{Atom: i})
+				if i%16 == 0 {
+					r.Last(8)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 16 {
+		t.Fatalf("Len = %d, want 16", r.Len())
+	}
+	last := r.Last(16)
+	for i := 1; i < len(last); i++ {
+		if last[i-1].Seq <= last[i].Seq {
+			t.Fatalf("Last not newest-first by seq: %d then %d", last[i-1].Seq, last[i].Seq)
+		}
+	}
+}

@@ -1,18 +1,25 @@
 package server
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"sync"
 	"testing"
+
+	"apclassifier/internal/rule"
 )
 
 // TestConcurrentQueriesAndUpdates hammers the HTTP API from many
 // goroutines at once: behavior queries, rule installs/removals,
-// reconstructions and stats reads all interleave. The server serializes on
-// one mutex; under -race this test proves no handler leaks state outside
-// it.
+// reconstructions, stats reads, metrics scrapes and trace reads all
+// interleave. The server serializes updates on one mutex, but /metrics
+// and /debug/trace deliberately take no server lock — they read atomics
+// and the manager's own lock — so this test is what proves a scrape
+// racing a snapshot swap (reconstruct retires the DD and flushes its
+// stats) is clean under -race.
 func TestConcurrentQueriesAndUpdates(t *testing.T) {
 	ts, ds := testServer(t)
 	const (
@@ -20,6 +27,16 @@ func TestConcurrentQueriesAndUpdates(t *testing.T) {
 		requestsPerGorou = 40
 	)
 	boxName := ds.Boxes[0].Name
+
+	// Pre-generate probe headers: RandomFields samples the dataset's rule
+	// tables, which the rules/add and rules/remove handlers mutate. The
+	// dataset is the server's to guard, not the test client's, so draw all
+	// probes before the storm begins.
+	probeRng := rand.New(rand.NewSource(7))
+	probes := make([]rule.Fields, workers*requestsPerGorou)
+	for i := range probes {
+		probes[i] = ds.RandomFields(probeRng)
+	}
 
 	var wg sync.WaitGroup
 	errs := make(chan error, workers*requestsPerGorou)
@@ -29,7 +46,7 @@ func TestConcurrentQueriesAndUpdates(t *testing.T) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed))
 			for i := 0; i < requestsPerGorou; i++ {
-				switch rng.Intn(5) {
+				switch rng.Intn(7) {
 				case 0: // stats
 					var stats StatsResponse
 					if code := getJSON(t, ts.URL+"/stats", &stats); code != 200 {
@@ -61,8 +78,40 @@ func TestConcurrentQueriesAndUpdates(t *testing.T) {
 						errs <- fmt.Errorf("reconstruct status %d", code)
 						return
 					}
+				case 4: // metrics scrape racing swaps and updates
+					resp, err := http.Get(ts.URL + "/metrics")
+					if err != nil {
+						errs <- err
+						return
+					}
+					body, err := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if err != nil {
+						errs <- err
+						return
+					}
+					if resp.StatusCode != 200 {
+						errs <- fmt.Errorf("metrics status %d", resp.StatusCode)
+						return
+					}
+					if !bytes.Contains(body, []byte("apc_aptree_classify_total")) {
+						errs <- fmt.Errorf("metrics scrape missing classify counter")
+						return
+					}
+				case 5: // trace read racing trace writes
+					var tr struct {
+						Count int `json:"count"`
+					}
+					if code := getJSON(t, ts.URL+"/debug/trace?n=16", &tr); code != 200 {
+						errs <- fmt.Errorf("trace status %d", code)
+						return
+					}
+					if tr.Count < 0 || tr.Count > 16 {
+						errs <- fmt.Errorf("trace count %d out of range", tr.Count)
+						return
+					}
 				default: // behavior query
-					f := ds.RandomFields(rng)
+					f := probes[int(seed)*requestsPerGorou+i]
 					var resp QueryResponse
 					code := postJSON(t, ts.URL+"/query", QueryRequest{
 						Ingress: ds.Boxes[rng.Intn(len(ds.Boxes))].Name,

@@ -12,6 +12,9 @@
 //	POST /reconstruct               → {"weighted":false}
 //	GET  /verify/loops              → loop-freedom check over all packets
 //	GET  /verify/reach?from=a&host=h → exact reachability summary
+//	GET  /metrics                   → Prometheus text exposition of the obs registry
+//	GET  /debug/trace?n=k           → last k per-query stage traces (JSON)
+//	GET  /debug/pprof/...           → net/http/pprof profiles
 //
 // Queries and stats run concurrently under a read lock: each request
 // resolves one classifier snapshot and answers entirely from that epoch,
@@ -26,14 +29,33 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"apclassifier"
 	"apclassifier/internal/netgen"
+	"apclassifier/internal/obs"
 	"apclassifier/internal/rule"
 	"apclassifier/internal/verify"
+)
+
+// traceRingSize is how many recent query traces /debug/trace retains.
+const traceRingSize = 256
+
+// Request-layer latency histograms. The stage-1 classify duration is
+// recorded here — at the request layer, once per query — rather than
+// inside Snapshot.Classify, where even one atomic add would not fit the
+// lock-free path's budget (see DESIGN §7).
+var (
+	mQueryDur = obs.Default.Histogram("apc_server_query_duration_seconds",
+		"End-to-end /query latency: parse, pin, classify, walk, encode.", obs.DefBuckets)
+	mClassifyDur = obs.Default.Histogram("apc_aptree_classify_duration_seconds",
+		"Stage-1 AP Tree classification latency, sampled per /query request.", obs.DefBuckets)
+	mWalkDur = obs.Default.Histogram("apc_network_walk_duration_seconds",
+		"Stage-2 behavior-walk latency, sampled per /query request.", obs.DefBuckets)
 )
 
 // Server wraps a classifier with an HTTP API.
@@ -44,11 +66,22 @@ type Server struct {
 	mu sync.RWMutex
 	c  *apclassifier.Classifier
 	ds *netgen.Dataset
+
+	// trace holds the most recent per-query stage traces for
+	// /debug/trace. The ring is also installed as the classifier's trace
+	// sink, so library-level Behavior calls on the same classifier land
+	// in it too.
+	trace *obs.TraceRing
 }
 
-// New builds a server around a compiled classifier.
+// New builds a server around a compiled classifier. The classifier's
+// derived metrics are registered into the process-wide obs registry
+// (newest classifier wins) and a trace ring is installed as its sink.
 func New(c *apclassifier.Classifier) *Server {
-	return &Server{c: c, ds: c.Dataset}
+	s := &Server{c: c, ds: c.Dataset, trace: obs.NewTraceRing(traceRingSize)}
+	c.RegisterMetrics(obs.Default)
+	c.SetTraceSink(s.trace)
+	return s
 }
 
 // Handler returns the HTTP handler (mountable under any mux).
@@ -61,6 +94,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /reconstruct", s.handleReconstruct)
 	mux.HandleFunc("GET /verify/loops", s.handleLoops)
 	mux.HandleFunc("GET /verify/reach", s.handleReach)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/trace", s.handleTrace)
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return mux
 }
 
@@ -157,10 +197,33 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	pkt := s.ds.PacketFromFields(f)
 	// Pin one epoch for the whole request so the reported atom and the
-	// traversal agree even if the tree is swapped mid-request.
+	// traversal agree even if the tree is swapped mid-request. Stage
+	// boundaries are timed for the latency histograms and the trace ring.
+	t0 := time.Now()
 	snap := s.c.Snapshot()
+	t1 := time.Now()
 	leaf := snap.Classify(pkt)
-	b := snap.Behavior(ingress, pkt)
+	t2 := time.Now()
+	b := snap.BehaviorFrom(ingress, pkt, leaf)
+	t3 := time.Now()
+	mClassifyDur.Record(t2.Sub(t1).Seconds())
+	mWalkDur.Record(t3.Sub(t2).Seconds())
+	mQueryDur.Record(t3.Sub(t0).Seconds())
+	s.trace.Record(obs.QueryTrace{
+		Start:    t0,
+		Ingress:  ingress,
+		Atom:     int(leaf.AtomID),
+		Depth:    int(leaf.Depth),
+		Visits:   int(leaf.Depth) + 1,
+		Version:  snap.Version(),
+		PinNs:    t1.Sub(t0).Nanoseconds(),
+		ClassNs:  t2.Sub(t1).Nanoseconds(),
+		WalkNs:   t3.Sub(t2).Nanoseconds(),
+		Hops:     len(b.Edges),
+		Delivers: len(b.Deliveries),
+		Drops:    len(b.Drops),
+		Rewrites: b.Rewrites,
+	})
 	resp := QueryResponse{Atom: leaf.AtomID, Depth: leaf.Depth}
 	for _, d := range b.Deliveries {
 		resp.Delivered = append(resp.Delivered, d.Host)
@@ -279,6 +342,38 @@ func (s *Server) handleReach(w http.ResponseWriter, r *http.Request) {
 	set := a.ReachSet(box, host)
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"from": from, "host": host, "packets": a.Describe(set),
+	})
+}
+
+// handleMetrics serves the process-wide obs registry in Prometheus text
+// exposition format. It takes no server lock: value metrics are read
+// atomically and derived metrics take the manager's read lock themselves.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	// A write failure means the scraper went away mid-response; there is
+	// no one left to report it to.
+	_ = obs.Default.WritePrometheus(w)
+}
+
+// handleTrace serves the newest n per-query stage traces (default 32,
+// capped at the ring size), newest first.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	n := 32
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			writeErr(w, http.StatusBadRequest, "bad n %q: want a positive integer", q)
+			return
+		}
+		n = v
+	}
+	traces := s.trace.Last(n)
+	if traces == nil {
+		traces = []obs.QueryTrace{}
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"count":  len(traces),
+		"traces": traces,
 	})
 }
 

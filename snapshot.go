@@ -54,6 +54,14 @@ func (s *Snapshot) BehaviorWith(w *network.Walker, ingress int, pkt header.Packe
 	return w.BehaviorPinned(s.s, ingress, pkt, leaf)
 }
 
+// BehaviorFrom runs stage 2 only, from a leaf the caller already
+// obtained via Classify on this same snapshot. Callers that need both
+// the leaf and the behavior (the server's /query, traced queries) use it
+// to avoid classifying the packet twice.
+func (s *Snapshot) BehaviorFrom(ingress int, pkt header.Packet, leaf *aptree.Node) *network.Behavior {
+	return s.c.Net.Behavior(&network.Env{Source: s.s}, ingress, pkt, leaf)
+}
+
 // NumPredicates reports the number of live predicates in the epoch.
 func (s *Snapshot) NumPredicates() int { return s.s.NumLive() }
 
