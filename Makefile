@@ -5,8 +5,9 @@ GO ?= go
 
 # Packages whose concurrency contracts are exercised under the race
 # detector (snapshot query path at the facade, Manager two-process
-# operation, frozen BDD views, HTTP server, experiment harness workers).
-RACE_PKGS := . ./internal/aptree ./internal/bdd ./internal/server ./internal/experiments
+# operation, frozen BDD views, HTTP server, background checkpointer,
+# experiment harness workers).
+RACE_PKGS := . ./internal/aptree ./internal/bdd ./internal/server ./internal/checkpoint ./internal/experiments
 
 # Packages carrying apdebug-tagged sanitizer tests (post-GC BDD audits,
 # AP Tree leaf-partition checks).
@@ -25,7 +26,15 @@ COVER_PKG   := ./internal/obs
 COVER_FLOOR := 90.0
 COVER_OUT   := coverage-obs.out
 
-.PHONY: build test vet lint race apdebug bench-smoke cover check
+# checkpoint-smoke's scratch directory (wiped and recreated each run).
+SMOKE_DIR := /tmp/apc-checkpoint-smoke
+
+# Fuzz targets exercised briefly by fuzz-smoke: the two binary decoders
+# that parse untrusted bytes. A short -fuzztime keeps CI fast; long runs
+# are for dedicated fuzzing sessions.
+FUZZ_TIME ?= 5s
+
+.PHONY: build test vet lint race apdebug bench-smoke cover checkpoint-smoke fuzz-smoke check
 
 build:
 	$(GO) build ./...
@@ -50,6 +59,25 @@ apdebug:
 bench-smoke:
 	$(GO) test -run '^$$' -bench '$(BENCH_SMOKE)' -benchtime 200x -cpu 1,4 ./internal/aptree
 
+# Save → restore → verify through the real binaries: apstate writes a
+# checkpoint for every generator, then fully decodes and self-checks it.
+# This is the end-to-end durability gate (the unit tests cover the codec;
+# this covers the shipped tooling).
+checkpoint-smoke:
+	rm -rf $(SMOKE_DIR) && mkdir -p $(SMOKE_DIR)
+	$(GO) run ./cmd/apstate save -net internet2 -scale 0.01 -out $(SMOKE_DIR)/internet2.apc
+	$(GO) run ./cmd/apstate save -net stanford -scale 0.003 -out $(SMOKE_DIR)/stanford.apc
+	$(GO) run ./cmd/apstate save -net multitenant -out $(SMOKE_DIR)/multitenant.apc
+	$(GO) run ./cmd/apstate inspect $(SMOKE_DIR)/internet2.apc
+	$(GO) run ./cmd/apstate verify $(SMOKE_DIR)/internet2.apc
+	$(GO) run ./cmd/apstate verify $(SMOKE_DIR)/stanford.apc
+	$(GO) run ./cmd/apstate verify $(SMOKE_DIR)/multitenant.apc
+	rm -rf $(SMOKE_DIR)
+
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzLoad$$' -fuzztime $(FUZZ_TIME) ./internal/bdd
+	$(GO) test -run '^$$' -fuzz '^FuzzCheckpointDecode$$' -fuzztime $(FUZZ_TIME) ./internal/checkpoint
+
 cover:
 	$(GO) test -coverprofile=$(COVER_OUT) $(COVER_PKG)
 	@total=$$($(GO) tool cover -func=$(COVER_OUT) | awk '/^total:/ { gsub("%","",$$3); print $$3 }'); \
@@ -57,5 +85,5 @@ cover:
 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit !(t+0 >= f+0) }' || \
 		{ echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
 
-check: build vet test lint race apdebug bench-smoke cover
+check: build vet test lint race apdebug bench-smoke checkpoint-smoke fuzz-smoke cover
 	@echo "all gates passed"

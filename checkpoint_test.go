@@ -1,0 +1,140 @@
+package apclassifier
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"apclassifier/internal/checkpoint"
+	"apclassifier/internal/rule"
+)
+
+// sortedIDs copies and sorts a predicate-ID slice for set comparison.
+func sortedIDs(ids []int32) []int32 {
+	out := append([]int32(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TestCheckpointRestoreMatchesLive is the warm-restart differential
+// satellite: on every netgen dataset it mutates a live classifier (so
+// the checkpoint carries tombstones and post-build predicates), saves
+// it through the managed directory, restores a second classifier from
+// disk, and checks the two are behaviorally indistinguishable on
+// boundary and random headers — same leaf atom, same membership bits,
+// and an identical Behavior walk (deliveries, drops, rewrites). It then
+// applies the same mutation to both and re-compares, proving the
+// restored instance is a full peer, not a read-only replica.
+func TestCheckpointRestoreMatchesLive(t *testing.T) {
+	for name, ds := range diffDatasets() {
+		t.Run(name, func(t *testing.T) {
+			c, err := New(ds, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Age the classifier: rule updates tombstone predicates and
+			// add new ones, a reconstruction swaps the tree. The
+			// checkpoint must capture this post-update epoch, not the
+			// cold-build state.
+			c.AddFwdRule(0, rule.FwdRule{Prefix: rule.P(0x0A000000, 8), Port: 0})
+			for b := range ds.Boxes {
+				if len(ds.Boxes[b].Fwd.Rules) > 0 {
+					c.RemoveFwdRule(b, ds.Boxes[b].Fwd.Rules[0].Prefix)
+					break
+				}
+			}
+			deny := rule.MatchAll()
+			deny.Dst = rule.P(0x80000000, 1)
+			c.SetInACL(len(ds.Boxes)-1, &rule.ACL{
+				Rules:   []rule.ACLRule{{Match: deny, Action: rule.Deny}},
+				Default: rule.Permit,
+			})
+			c.Reconstruct(false)
+
+			dir, err := checkpoint.Open(t.TempDir(), 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path, err := dir.Save(c.CheckpointSource())
+			if err != nil {
+				t.Fatal(err)
+			}
+			rc, err := RestoreDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if rc.Manager.Version() != c.Manager.Version() {
+				t.Fatalf("restored epoch %d, live %d", rc.Manager.Version(), c.Manager.Version())
+			}
+			if rc.NumPredicates() != c.NumPredicates() || rc.NumAtoms() != c.NumAtoms() {
+				t.Fatalf("restored %d preds / %d atoms, live %d / %d",
+					rc.NumPredicates(), rc.NumAtoms(), c.NumPredicates(), c.NumAtoms())
+			}
+			liveIDs := c.Manager.LiveIDs()
+			if got, want := sortedIDs(rc.Manager.LiveIDs()), sortedIDs(liveIDs); len(got) != len(want) {
+				t.Fatalf("live ID sets differ in size: %d vs %d", len(got), len(want))
+			} else {
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("live ID sets differ: %v vs %v", got, want)
+					}
+				}
+			}
+
+			rng := rand.New(rand.NewSource(45))
+			probes := boundaryFields(ds, rng, 3)
+			for i := 0; i < 150; i++ {
+				probes = append(probes, ds.RandomFields(rng))
+			}
+			compare := func(probes []rule.Fields, phase string) {
+				t.Helper()
+				for i, f := range probes {
+					pkt := ds.PacketFromFields(f)
+					ll := c.Classify(pkt)
+					lr := rc.Classify(pkt)
+					if ll.AtomID != lr.AtomID {
+						t.Fatalf("%s probe %d: live atom %d, restored atom %d", phase, i, ll.AtomID, lr.AtomID)
+					}
+					for _, id := range liveIDs {
+						if ll.Member.Get(int(id)) != lr.Member.Get(int(id)) {
+							t.Fatalf("%s probe %d: membership bit %d differs after restore", phase, i, id)
+						}
+					}
+					ingress := rng.Intn(len(ds.Boxes))
+					bl := c.Behavior(ingress, pkt)
+					br := rc.Behavior(ingress, pkt)
+					if bl.String() != br.String() {
+						t.Fatalf("%s probe %d from box %d:\n live     %s\n restored %s",
+							phase, i, ingress, bl, br)
+					}
+				}
+			}
+			compare(probes, "restore")
+
+			// The restored classifier must keep evolving in lockstep when
+			// fed the same updates: a forwarding-rule change (exercising
+			// the round-tripped rule tables) and a fresh ingress ACL.
+			fr := rule.FwdRule{Prefix: rule.P(0xC0A80000, 16), Port: 0}
+			c.AddFwdRule(0, fr)
+			rc.AddFwdRule(0, fr)
+			deny2 := rule.MatchAll()
+			deny2.Dst = rule.P(0xC0000000, 2)
+			acl := &rule.ACL{Rules: []rule.ACLRule{{Match: deny2, Action: rule.Deny}}, Default: rule.Permit}
+			c.SetInACL(0, acl)
+			rc.SetInACL(0, acl)
+			liveIDs = c.Manager.LiveIDs()
+			compare(probes[:40], "post-update")
+
+			// The facade's single-file path restores the same state.
+			rc2, err := RestoreFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rc2.NumPredicates() == 0 || rc2.NumAtoms() == 0 {
+				t.Fatal("RestoreFile produced an empty classifier")
+			}
+		})
+	}
+}

@@ -7,6 +7,18 @@
 //	curl -s -X POST localhost:8080/rules/add -d '{"box":"seattle","prefix":"240.0.0.0/8","port":-1}'
 //	curl -s localhost:8080/verify/loops
 //
+// Durability (see README "Checkpoint & warm restart"):
+//
+//	apserver -net internet2 -checkpoint-dir /var/lib/apc   # checkpoint continuously
+//	apserver -checkpoint-dir /var/lib/apc -restore         # warm-restart from the newest checkpoint
+//	curl -s -X POST localhost:8080/checkpoint              # force a save right now
+//
+// With -checkpoint-dir set, a background runner saves the published
+// classifier epoch after every coalesced update burst and on SIGINT/
+// SIGTERM writes a final checkpoint before exiting, so the next
+// -restore start resumes exactly where this one stopped — without
+// re-converting rules or rebuilding the AP Tree.
+//
 // Observability (see README "Observability"):
 //
 //	curl -s localhost:8080/metrics        # Prometheus text exposition
@@ -15,13 +27,18 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"apclassifier"
+	"apclassifier/internal/checkpoint"
 	"apclassifier/internal/netgen"
 	"apclassifier/internal/server"
 )
@@ -32,46 +49,116 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator seed")
 	load := flag.String("load", "", "load a dataset snapshot file instead of generating")
 	listen := flag.String("listen", ":8080", "listen address")
+	ckptDir := flag.String("checkpoint-dir", "", "directory for durable classifier checkpoints (empty = disabled)")
+	ckptInterval := flag.Duration("checkpoint-interval", 30*time.Second, "periodic checkpoint cadence (0 = only update-triggered)")
+	ckptKeep := flag.Int("checkpoint-keep", 3, "checkpoint generations to retain")
+	restore := flag.Bool("restore", false, "warm-restart from the newest checkpoint in -checkpoint-dir")
 	flag.Parse()
 
-	var ds *netgen.Dataset
-	var err error
-	switch {
-	case *load != "":
-		f, ferr := os.Open(*load)
-		if ferr != nil {
-			fatal(ferr)
+	var dir *checkpoint.Dir
+	if *ckptDir != "" {
+		var err error
+		if dir, err = checkpoint.Open(*ckptDir, *ckptKeep); err != nil {
+			fatal(err)
 		}
-		ds, err = netgen.Read(f)
-		_ = f.Close() // read-only; parse errors are what matter
-	case *netName == "internet2":
-		ds = netgen.Internet2Like(netgen.Config{Seed: *seed, RuleScale: *scale})
-	case *netName == "stanford":
-		ds = netgen.StanfordLike(netgen.Config{Seed: *seed, RuleScale: *scale})
-	case *netName == "multitenant":
-		ds = netgen.MultiTenantLike(4, 3, *seed)
-	default:
-		err = fmt.Errorf("unknown network %q", *netName)
-	}
-	if err != nil {
-		fatal(err)
 	}
 
-	start := time.Now()
-	c, err := apclassifier.New(ds, apclassifier.Options{})
-	if err != nil {
-		fatal(err)
+	// Warm path: rebuild the classifier from the newest checkpoint — no
+	// rule conversion, no atomic-predicate computation, no tree build.
+	// An empty directory falls back to a cold build (first boot); a
+	// corrupt-only directory is an error worth stopping for.
+	var c *apclassifier.Classifier
+	if *restore {
+		if dir == nil {
+			fatal(errors.New("-restore requires -checkpoint-dir"))
+		}
+		start := time.Now()
+		rc, err := apclassifier.RestoreDir(dir)
+		switch {
+		case err == nil:
+			c = rc
+			fmt.Printf("%s warm-restarted in %v from %s: %d rules, %d predicates, %d atoms (epoch %d)\n",
+				c.Dataset.Name, time.Since(start).Round(time.Millisecond), dir.Path(),
+				c.Dataset.NumRules(), c.NumPredicates(), c.NumAtoms(), c.Manager.Version())
+		case errors.Is(err, os.ErrNotExist):
+			fmt.Printf("no checkpoint in %s yet; building cold\n", dir.Path())
+		default:
+			fatal(err)
+		}
 	}
-	fmt.Printf("%s compiled in %v: %d rules, %d predicates, %d atoms\n",
-		ds.Name, time.Since(start).Round(time.Millisecond),
-		ds.NumRules(), c.NumPredicates(), c.NumAtoms())
+	if c == nil {
+		ds, err := buildDataset(*netName, *load, *seed, *scale)
+		if err != nil {
+			fatal(err)
+		}
+		start := time.Now()
+		if c, err = apclassifier.New(ds, apclassifier.Options{}); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s compiled in %v: %d rules, %d predicates, %d atoms\n",
+			ds.Name, time.Since(start).Round(time.Millisecond),
+			ds.NumRules(), c.NumPredicates(), c.NumAtoms())
+	}
+
+	s := server.New(c)
+	var runner *checkpoint.Runner
+	if dir != nil {
+		runner = s.EnableCheckpoints(dir, checkpoint.RunnerConfig{
+			Interval: *ckptInterval,
+			OnError:  func(err error) { fmt.Fprintln(os.Stderr, "apserver: checkpoint:", err) },
+		})
+		fmt.Printf("checkpointing to %s every %v (and after updates)\n", dir.Path(), *ckptInterval)
+	}
+
 	fmt.Printf("listening on %s\n", *listen)
 	srv := &http.Server{
 		Addr:              *listen,
-		Handler:           server.New(c).Handler(),
+		Handler:           s.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	fatal(srv.ListenAndServe())
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case got := <-sig:
+		fmt.Printf("\nreceived %s; shutting down\n", got)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		// In-flight requests get the grace period; a timeout just means we
+		// proceed to the final checkpoint with whatever state is published.
+		_ = srv.Shutdown(ctx)
+		cancel()
+		if runner != nil {
+			runner.Stop() // writes the final checkpoint if state is dirty
+			if latest, err := dir.Latest(); err == nil {
+				fmt.Printf("final checkpoint: %s (restart with -restore to resume)\n", latest)
+			}
+		}
+	}
+}
+
+func buildDataset(netName, load string, seed int64, scale float64) (*netgen.Dataset, error) {
+	switch {
+	case load != "":
+		f, err := os.Open(load)
+		if err != nil {
+			return nil, err
+		}
+		ds, err := netgen.Read(f)
+		_ = f.Close() // read-only; parse errors are what matter
+		return ds, err
+	case netName == "internet2":
+		return netgen.Internet2Like(netgen.Config{Seed: seed, RuleScale: scale}), nil
+	case netName == "stanford":
+		return netgen.StanfordLike(netgen.Config{Seed: seed, RuleScale: scale}), nil
+	case netName == "multitenant":
+		return netgen.MultiTenantLike(4, 3, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown network %q", netName)
+	}
 }
 
 func fatal(err error) {

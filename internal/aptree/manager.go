@@ -59,6 +59,11 @@ type Manager struct {
 	// zero-cost query path.
 	//lint:guard mu
 	retiredVisits uint64
+
+	// notify, once created by PublishNotify, receives a coalesced signal
+	// (capacity-one, non-blocking send) after every snapshot publication.
+	//lint:guard mu
+	notify chan struct{}
 }
 
 type journalOp struct {
@@ -117,6 +122,12 @@ func (m *Manager) publishLocked() {
 	// lock is held, so the DD's plain counters are stable to read.
 	m.d.PublishStats()
 	mPublishes.Inc()
+	if m.notify != nil {
+		select {
+		case m.notify <- struct{}{}:
+		default: // a signal is already pending; coalesce
+		}
+	}
 }
 
 // Snapshot returns the current published epoch. The result is immutable

@@ -1,6 +1,55 @@
 package bdd
 
-import "testing"
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzLoad feeds arbitrary bytes to the stream decoder. Load must never
+// panic and never build non-canonical state: it either returns roots in
+// a DD that still satisfies all structural invariants, or a typed error.
+// Seeds cover the valid encodings (so mutations explore near-valid
+// corruptions) plus each rejection class from TestLoadErrorPaths.
+func FuzzLoad(f *testing.F) {
+	seedDD := New(8)
+	fn := seedDD.And(seedDD.Var(0), seedDD.Or(seedDD.Var(3), seedDD.NVar(5)))
+	var buf bytes.Buffer
+	if err := seedDD.Save(&buf, fn, seedDD.Not(fn), True); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:len(buf.Bytes())-3]) // truncated root table
+	f.Add(buf.Bytes()[:7])                  // truncated header
+	f.Add([]byte("BDD1"))
+	f.Add([]byte("XYZ1\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"))
+	f.Add(stream(8, 1, 1, 9, 0, 1, 2))            // level out of range
+	f.Add(stream(8, 1, 0, 0, 1, 1))               // redundant node
+	f.Add(stream(8, 2, 0, 2, 0, 1, 2, 2, 1))      // non-increasing level
+	f.Add(stream(8, ^uint32(0), 0))               // hostile node count
+	f.Add(stream(8, 0, ^uint32(0)))               // hostile root count
+	f.Fuzz(func(t *testing.T, in []byte) {
+		d := New(8)
+		roots, err := d.Load(bytes.NewReader(in))
+		if err != nil {
+			if !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrTruncated) &&
+				!errors.Is(err, ErrMalformed) && !errors.Is(err, ErrVarMismatch) {
+				t.Fatalf("untyped Load error: %v", err)
+			}
+			return
+		}
+		for _, r := range roots {
+			if r < 0 || int(r) >= len(d.nodes) {
+				t.Fatalf("root %d out of store range", r)
+			}
+			// Every accepted root must evaluate without faulting.
+			d.EvalBits(r, []byte{0xA5})
+		}
+		if err := d.CheckInvariants(); err != nil {
+			t.Fatalf("invariants after successful load: %v", err)
+		}
+	})
+}
 
 // FuzzFromRange cross-checks the range-to-prefix decomposition against
 // direct comparison for arbitrary bounds and probes.

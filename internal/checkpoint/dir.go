@@ -1,0 +1,250 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+const manifestName = "MANIFEST"
+
+// Dir manages a checkpoint directory: atomic writes, a manifest of
+// committed checkpoints (oldest first), retention of the last K, and a
+// restore path that falls back past corrupt entries. All methods are
+// safe for concurrent use; saves serialize.
+type Dir struct {
+	path string
+	keep int
+
+	mu sync.Mutex
+	//lint:guard mu
+	seq int
+	// entries is the manifest: committed checkpoint filenames, oldest
+	// first. A file is only an entry after its rename and the manifest
+	// rewrite both hit disk, so every entry is a complete, synced file.
+	//lint:guard mu
+	entries []string
+}
+
+// Open creates (if needed) and loads a checkpoint directory keeping the
+// last keep checkpoints (minimum 1).
+func Open(path string, keep int) (*Dir, error) {
+	if keep < 1 {
+		keep = 1
+	}
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		return nil, err
+	}
+	d := &Dir{path: path, keep: keep}
+	if err := d.loadManifestLocked(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Path returns the directory being managed.
+func (d *Dir) Path() string { return d.path }
+
+// Checkpoints returns the committed checkpoint paths, oldest first.
+func (d *Dir) Checkpoints() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, len(d.entries))
+	for i, e := range d.entries {
+		out[i] = filepath.Join(d.path, e)
+	}
+	return out
+}
+
+func (d *Dir) loadManifestLocked() error {
+	b, err := os.ReadFile(filepath.Join(d.path, manifestName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		d.entries = append(d.entries, line)
+		var n int
+		if _, err := fmt.Sscanf(line, "ckpt-%08d.apc", &n); err == nil && n >= d.seq {
+			d.seq = n + 1
+		}
+	}
+	return nil
+}
+
+// Save encodes src into a new checkpoint file with the atomic-write
+// protocol — temp file, fsync, rename, directory fsync, manifest
+// rewrite (same protocol) — then prunes checkpoints beyond the
+// retention count. It returns the committed path. A crash at any point
+// leaves the directory with its previous manifest and files intact.
+func (d *Dir) Save(src *Source) (string, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	start := time.Now()
+	path, size, err := d.saveLocked(src)
+	if err != nil {
+		mSaveErrors.Inc()
+		return "", err
+	}
+	mSaves.Inc()
+	mSaveDur.Record(time.Since(start).Seconds())
+	mLastSize.Set(size)
+	lastSaveUnixNano.Store(time.Now().UnixNano())
+	return path, nil
+}
+
+func (d *Dir) saveLocked(src *Source) (string, int64, error) {
+	name := fmt.Sprintf("ckpt-%08d.apc", d.seq)
+	tmp, err := os.CreateTemp(d.path, ".tmp-ckpt-*")
+	if err != nil {
+		return "", 0, err
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) (string, int64, error) {
+		// Best-effort cleanup of a temp file we are abandoning; the
+		// original error is what the caller needs.
+		_ = tmp.Close()
+		_ = os.Remove(tmpName)
+		return "", 0, err
+	}
+	if err := Encode(tmp, src); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	st, err := tmp.Stat()
+	if err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmpName)
+		return "", 0, err
+	}
+	final := filepath.Join(d.path, name)
+	if err := os.Rename(tmpName, final); err != nil {
+		_ = os.Remove(tmpName)
+		return "", 0, err
+	}
+	if err := syncDir(d.path); err != nil {
+		return "", 0, err
+	}
+
+	// Commit to the manifest before deleting anything it used to
+	// reference: a crash between the two steps leaves orphan files (GC'd
+	// by the next prune cycle's filesystem scan being unnecessary — they
+	// simply age out of the directory listing), never dangling entries.
+	d.seq++
+	d.entries = append(d.entries, name)
+	var pruned []string
+	for len(d.entries) > d.keep {
+		pruned = append(pruned, d.entries[0])
+		d.entries = d.entries[1:]
+	}
+	if err := d.writeManifestLocked(); err != nil {
+		return "", 0, err
+	}
+	for _, old := range pruned {
+		if err := os.Remove(filepath.Join(d.path, old)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return "", 0, err
+		}
+	}
+	return final, st.Size(), nil
+}
+
+func (d *Dir) writeManifestLocked() error {
+	tmp, err := os.CreateTemp(d.path, ".tmp-manifest-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		_ = tmp.Close()
+		_ = os.Remove(tmpName)
+		return err
+	}
+	if _, err := tmp.WriteString(strings.Join(d.entries, "\n") + "\n"); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, filepath.Join(d.path, manifestName)); err != nil {
+		_ = os.Remove(tmpName)
+		return err
+	}
+	return syncDir(d.path)
+}
+
+// syncDir fsyncs a directory so a completed rename is durable — without
+// it the new name may be lost in a crash even though the file data is
+// on disk.
+func syncDir(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Latest returns the newest committed checkpoint path, or a wrapped
+// os.ErrNotExist if the directory holds none.
+func (d *Dir) Latest() (string, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.entries) == 0 {
+		return "", fmt.Errorf("checkpoint: %s holds no checkpoints: %w", d.path, os.ErrNotExist)
+	}
+	return filepath.Join(d.path, d.entries[len(d.entries)-1]), nil
+}
+
+// Restore decodes the newest checkpoint, falling back to older entries
+// when a file is missing, truncated, or corrupt — the manifest keeps K
+// generations precisely so one bad write does not strand the service.
+// The returned error joins every per-file failure when nothing loads.
+func (d *Dir) Restore() (*Restored, error) {
+	paths := d.Checkpoints()
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("checkpoint: %s holds no checkpoints: %w", d.path, os.ErrNotExist)
+	}
+	var errs []error
+	for i := len(paths) - 1; i >= 0; i-- {
+		res, err := RestoreFile(paths[i])
+		if err == nil {
+			return res, nil
+		}
+		errs = append(errs, fmt.Errorf("%s: %w", paths[i], err))
+		if !IsDecodeError(err) && !errors.Is(err, os.ErrNotExist) {
+			break // a real I/O fault; older files will not fare better
+		}
+	}
+	return nil, errors.Join(errs...)
+}
+
+// RestoreFile decodes one checkpoint file.
+func RestoreFile(path string) (*Restored, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(f)
+}

@@ -1,0 +1,142 @@
+package checkpoint
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"apclassifier/internal/aptree"
+	"apclassifier/internal/bdd"
+)
+
+// Encode writes src as one checkpoint file. The BDD payload is
+// serialized through the snapshot's frozen view, so encoding never
+// touches the live DD: queries and updates proceed concurrently and the
+// bytes describe exactly the pinned epoch.
+func Encode(w io.Writer, src *Source) error {
+	if src.Snap == nil || src.Dataset == nil {
+		return fmt.Errorf("checkpoint: encode needs a snapshot and a dataset")
+	}
+	tree := src.Snap.Tree()
+	numPreds := tree.NumPreds()
+
+	// One preorder walk fixes the node numbering shared by the TREE
+	// section and the BDDS root order: records reference children by
+	// index, and the leaf atoms' BDD roots follow the predicate roots in
+	// the order the leaves appear here.
+	var nodes []*aptree.Node
+	index := map[*aptree.Node]int{}
+	stack := []*aptree.Node{tree.Root()}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		index[n] = len(nodes)
+		nodes = append(nodes, n)
+		if !n.IsLeaf() {
+			stack = append(stack, n.F, n.T) // T pops first: preorder T-then-F
+		}
+	}
+
+	roots := make([]bdd.Ref, 0, numPreds+tree.NumLeaves())
+	for id := int32(0); id < int32(numPreds); id++ {
+		roots = append(roots, tree.Pred(id))
+	}
+	numLeaves := 0
+	for _, n := range nodes {
+		if n.IsLeaf() {
+			roots = append(roots, n.BDD)
+			numLeaves++
+		}
+	}
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(fileMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, FormatVersion); err != nil {
+		return err
+	}
+
+	var meta sectionWriter
+	meta.u64(src.Snap.Version())
+	meta.u32(uint32(src.Method))
+	meta.u32(uint32(src.Snap.View().NumVars()))
+	meta.u32(uint32(numPreds))
+	meta.u32(uint32(tree.NextAtom()))
+	if err := writeSection(bw, "META", meta.b); err != nil {
+		return err
+	}
+
+	var dset bytes.Buffer
+	if err := src.Dataset.Write(&dset); err != nil {
+		return err
+	}
+	if err := writeSection(bw, "DSET", dset.Bytes()); err != nil {
+		return err
+	}
+
+	pred := make([]byte, (numPreds+7)/8)
+	for id := int32(0); id < int32(numPreds); id++ {
+		if src.Snap.IsLive(id) {
+			pred[id/8] |= 1 << uint(id%8)
+		}
+	}
+	if err := writeSection(bw, "PRED", pred); err != nil {
+		return err
+	}
+
+	var bdds bytes.Buffer
+	if err := src.Snap.View().Save(&bdds, roots...); err != nil {
+		return err
+	}
+	if err := writeSection(bw, "BDDS", bdds.Bytes()); err != nil {
+		return err
+	}
+
+	var trec sectionWriter
+	trec.u32(uint32(len(nodes)))
+	trec.u32(uint32(numLeaves))
+	for _, n := range nodes {
+		if n.IsLeaf() {
+			trec.u8(1)
+			trec.u32(uint32(n.AtomID))
+			trec.u32(uint32(len(n.Member)))
+			for _, word := range n.Member {
+				trec.u64(word)
+			}
+		} else {
+			trec.u8(0)
+			trec.u32(uint32(n.Pred))
+			trec.u32(uint32(index[n.T]))
+			trec.u32(uint32(index[n.F]))
+		}
+	}
+	if err := writeSection(bw, "TREE", trec.b); err != nil {
+		return err
+	}
+
+	var topo sectionWriter
+	topo.u32(uint32(len(src.Wiring)))
+	for _, box := range src.Wiring {
+		topo.i32(box.InACL)
+		topo.u32(uint32(len(box.Fwd)))
+		for p, fwd := range box.Fwd {
+			topo.i32(fwd)
+			out := int32(-1)
+			if p < len(box.OutACL) {
+				out = box.OutACL[p]
+			}
+			topo.i32(out)
+		}
+	}
+	if err := writeSection(bw, "TOPO", topo.b); err != nil {
+		return err
+	}
+
+	if err := writeSection(bw, "END ", nil); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

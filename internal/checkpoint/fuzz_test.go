@@ -1,0 +1,50 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCheckpointDecode feeds arbitrary bytes to the full decoder. The
+// contract: never panic, never allocate beyond what the input length
+// justifies, and either return a typed decode error or a Restored whose
+// classifier state passes its own consistency checks (RestoreTree
+// already re-validated the structure; SelfCheck cross-validates leaf
+// membership against predicate BDDs).
+func FuzzCheckpointDecode(f *testing.F) {
+	_, src := testSource(f, 41)
+	var buf bytes.Buffer
+	if err := Encode(&buf, src); err != nil {
+		f.Fatal(err)
+	}
+	raw := buf.Bytes()
+	f.Add(raw)
+	f.Add(raw[:len(raw)-7])          // cut inside END
+	f.Add(raw[:len(raw)/2])          // cut mid-BDDS/TREE
+	f.Add(raw[:8])                   // magic+version only
+	f.Add([]byte{})                  // empty
+	f.Add([]byte("APCKPT"))          // magic, no version
+	f.Add([]byte("APCKPT\x02\x00"))  // future version
+	f.Add([]byte("NOTCKPT\x01\x00")) // wrong magic
+	// A hostile section length: META claims 4 GiB.
+	hostile := append([]byte("APCKPT\x01\x00META"), 0xFF, 0xFF, 0xFF, 0xFF)
+	f.Add(hostile)
+	// Single-byte corruptions in distinct sections.
+	for _, pos := range []int{9, 30, len(raw) / 3, 2 * len(raw) / 3, len(raw) - 2} {
+		mut := append([]byte(nil), raw...)
+		mut[pos] ^= 0x80
+		f.Add(mut)
+	}
+	f.Fuzz(func(t *testing.T, in []byte) {
+		res, err := Decode(bytes.NewReader(in))
+		if err != nil {
+			if !IsDecodeError(err) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		if err := res.SelfCheck(10, 1); err != nil {
+			t.Fatalf("accepted checkpoint fails self-check: %v", err)
+		}
+	})
+}

@@ -1,0 +1,45 @@
+package checkpoint
+
+import (
+	"sync/atomic"
+	"time"
+
+	"apclassifier/internal/obs"
+)
+
+// Checkpoint metrics, registered at init so /metrics exposes the
+// families even before the first save. Save-side metrics are updated by
+// Dir.Save, restore-side by Decode — the two funnels every caller goes
+// through.
+var (
+	mSaves = obs.Default.Counter("apc_checkpoint_saves_total",
+		"Checkpoint files successfully written (temp+fsync+rename committed).")
+	mSaveErrors = obs.Default.Counter("apc_checkpoint_save_errors_total",
+		"Checkpoint save attempts that failed before commit.")
+	mSaveDur = obs.Default.Histogram("apc_checkpoint_save_duration_seconds",
+		"Wall time of one checkpoint save: encode, fsync, rename, manifest.", obs.DefBuckets)
+	mLastSize = obs.Default.Gauge("apc_checkpoint_last_size_bytes",
+		"Size of the most recently committed checkpoint file.")
+	mRestores = obs.Default.Counter("apc_checkpoint_restores_total",
+		"Checkpoint files successfully decoded into classifier state.")
+	mRestoreDur = obs.Default.Histogram("apc_checkpoint_restore_duration_seconds",
+		"Wall time of one checkpoint decode+restore.", obs.DefBuckets)
+	mCorrupt = obs.Default.Counter("apc_checkpoint_corrupt_rejected_total",
+		"Checkpoint decodes rejected as truncated, corrupt, or malformed.")
+)
+
+// lastSaveUnixNano is the commit time of the newest checkpoint, feeding
+// the scrape-time age gauge below; zero means no save yet this process.
+var lastSaveUnixNano atomic.Int64
+
+func init() {
+	obs.Default.GaugeFunc("apc_checkpoint_age_seconds",
+		"Seconds since the last committed checkpoint; -1 before the first.",
+		func() float64 {
+			ns := lastSaveUnixNano.Load()
+			if ns == 0 {
+				return -1
+			}
+			return time.Since(time.Unix(0, ns)).Seconds()
+		})
+}

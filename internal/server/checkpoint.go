@@ -1,0 +1,56 @@
+package server
+
+import (
+	"net/http"
+	"os"
+
+	"apclassifier/internal/checkpoint"
+)
+
+// EnableCheckpoints attaches a managed checkpoint directory to the
+// server and starts the background checkpointer: an initial save so the
+// directory is restorable as soon as the service is up, a save after
+// every coalescing window with published updates, the optional periodic
+// timer, and a final save on Stop. It also arms the POST /checkpoint
+// endpoint for operator-forced saves. Call before Handler is serving
+// traffic; the returned runner's Stop is the graceful-shutdown hook.
+//
+// The capture callback takes the server's read lock — the same lock the
+// query handlers hold — because Source reads the dataset and topology
+// wiring, which rule updates rewrite under the write lock. Queries keep
+// flowing during capture; only updates wait, and only for the capture
+// (the encode works off the pinned snapshot, outside any lock).
+func (s *Server) EnableCheckpoints(dir *checkpoint.Dir, cfg checkpoint.RunnerConfig) *checkpoint.Runner {
+	s.ckpt = dir
+	return checkpoint.StartRunner(dir, s.c.Manager, s.captureCheckpoint, cfg)
+}
+
+func (s *Server) captureCheckpoint() *checkpoint.Source {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.c.CheckpointSource()
+}
+
+// handleCheckpoint forces a checkpoint right now — the operator's "save
+// before I do something risky" button. 503 when the server was started
+// without a checkpoint directory.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if s.ckpt == nil {
+		writeErr(w, http.StatusServiceUnavailable, "checkpointing disabled: start apserver with -checkpoint-dir")
+		return
+	}
+	path, err := s.ckpt.Save(s.captureCheckpoint())
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "checkpoint failed: %v", err)
+		return
+	}
+	size := int64(0)
+	if fi, err := os.Stat(path); err == nil {
+		size = fi.Size()
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"path":      path,
+		"sizeBytes": size,
+		"epoch":     s.c.Manager.Version(),
+	})
+}

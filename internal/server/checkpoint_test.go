@@ -1,0 +1,95 @@
+package server
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"apclassifier"
+	"apclassifier/internal/checkpoint"
+	"apclassifier/internal/netgen"
+)
+
+func TestCheckpointEndpointDisabled(t *testing.T) {
+	ts, _ := testServer(t)
+	var resp map[string]string
+	if code := postJSON(t, ts.URL+"/checkpoint", struct{}{}, &resp); code != 503 {
+		t.Fatalf("status %d, want 503 when checkpointing is disabled", code)
+	}
+	if !strings.Contains(resp["error"], "checkpoint-dir") {
+		t.Fatalf("error %q does not tell the operator how to enable", resp["error"])
+	}
+}
+
+// TestCheckpointEndpointAndRunner drives the full server-side loop:
+// enable → initial background save → forced save via POST /checkpoint →
+// rule update through the HTTP API captured by the coalesced runner →
+// graceful-stop final save, restorable into an equivalent classifier.
+func TestCheckpointEndpointAndRunner(t *testing.T) {
+	ds := netgen.Internet2Like(netgen.Config{Seed: 73, RuleScale: 0.01})
+	c, err := apclassifier.New(ds, apclassifier.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(c)
+	dir, err := checkpoint.Open(t.TempDir(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := s.EnableCheckpoints(dir, checkpoint.RunnerConfig{MinGap: 20 * time.Millisecond})
+	defer runner.Stop()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	waitFor := func(cond func() bool, what string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", what)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	waitFor(func() bool { return len(dir.Checkpoints()) >= 1 }, "initial checkpoint")
+
+	var forced struct {
+		Path      string `json:"path"`
+		SizeBytes int64  `json:"sizeBytes"`
+		Epoch     uint64 `json:"epoch"`
+	}
+	if code := postJSON(t, ts.URL+"/checkpoint", struct{}{}, &forced); code != 200 {
+		t.Fatalf("forced checkpoint: status %d", code)
+	}
+	if forced.Path == "" || forced.SizeBytes == 0 {
+		t.Fatalf("forced checkpoint response incomplete: %+v", forced)
+	}
+	if forced.Epoch != c.Manager.Version() {
+		t.Fatalf("forced checkpoint epoch %d, classifier at %d", forced.Epoch, c.Manager.Version())
+	}
+
+	// A rule update through the API publishes a new epoch; the runner
+	// must persist it without further prompting.
+	var add map[string]interface{}
+	if code := postJSON(t, ts.URL+"/rules/add",
+		RuleRequest{Box: ds.Boxes[0].Name, Prefix: "240.11.0.0/16", Port: 0}, &add); code != 200 {
+		t.Fatalf("rule add: status %d (%v)", code, add)
+	}
+	wantEpoch := c.Manager.Version()
+	waitFor(func() bool {
+		res, err := dir.Restore()
+		return err == nil && res.Epoch >= wantEpoch
+	}, "runner to capture the rule update")
+
+	// Graceful stop leaves a checkpoint that warm-restarts into a peer.
+	runner.Stop()
+	rc, err := apclassifier.RestoreDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.NumPredicates() != c.NumPredicates() || rc.Manager.Version() != c.Manager.Version() {
+		t.Fatalf("restored %d preds @ epoch %d, live %d @ %d",
+			rc.NumPredicates(), rc.Manager.Version(), c.NumPredicates(), c.Manager.Version())
+	}
+}

@@ -55,6 +55,10 @@ func TestMetricsEndpoint(t *testing.T) {
 		"apc_bdd_nodes_allocated_total",
 		"apc_network_walks_total",
 		"apc_network_hops_total",
+		"apc_checkpoint_saves_total",
+		"apc_checkpoint_save_duration_seconds",
+		"apc_checkpoint_age_seconds",
+		"apc_checkpoint_corrupt_rejected_total",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("exposition missing %q", want)

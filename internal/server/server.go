@@ -10,6 +10,7 @@
 //	POST /rules/add                 → {"box":"seattle","prefix":"10.0.0.0/8","port":3}
 //	POST /rules/remove              → {"box":"seattle","prefix":"10.0.0.0/8"}
 //	POST /reconstruct               → {"weighted":false}
+//	POST /checkpoint                → force a checkpoint save (503 if disabled)
 //	GET  /verify/loops              → loop-freedom check over all packets
 //	GET  /verify/reach?from=a&host=h → exact reachability summary
 //	GET  /metrics                   → Prometheus text exposition of the obs registry
@@ -36,6 +37,7 @@ import (
 	"time"
 
 	"apclassifier"
+	"apclassifier/internal/checkpoint"
 	"apclassifier/internal/netgen"
 	"apclassifier/internal/obs"
 	"apclassifier/internal/rule"
@@ -72,6 +74,11 @@ type Server struct {
 	// sink, so library-level Behavior calls on the same classifier land
 	// in it too.
 	trace *obs.TraceRing
+
+	// ckpt is the managed checkpoint directory, set by EnableCheckpoints
+	// before the handler serves traffic; nil means POST /checkpoint
+	// answers 503.
+	ckpt *checkpoint.Dir
 }
 
 // New builds a server around a compiled classifier. The classifier's
@@ -92,6 +99,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /rules/add", s.handleRuleAdd)
 	mux.HandleFunc("POST /rules/remove", s.handleRuleRemove)
 	mux.HandleFunc("POST /reconstruct", s.handleReconstruct)
+	mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /verify/loops", s.handleLoops)
 	mux.HandleFunc("GET /verify/reach", s.handleReach)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
