@@ -10,15 +10,21 @@ GO ?= go
 RACE_PKGS := . ./internal/aptree ./internal/bdd ./internal/server ./internal/checkpoint ./internal/experiments
 
 # Packages carrying apdebug-tagged sanitizer tests (post-GC BDD audits,
-# AP Tree leaf-partition checks).
-APDEBUG_PKGS := ./internal/bdd ./internal/aptree
+# AP Tree leaf-partition checks, behavior-cache epoch assertions at the
+# facade).
+APDEBUG_PKGS := . ./internal/bdd ./internal/aptree
 
 # Benchmarks exercised by bench-smoke: the lock-free snapshot query path,
 # serial and parallel, plus the mixed query/update workload. A fixed
 # -benchtime keeps the step fast; it is a non-regression smoke (the
 # benchmarks must run and the parallel path must stay race-clean), not a
 # performance gate — numbers live in EXPERIMENTS.md.
-BENCH_SMOKE := ^(BenchmarkManagerClassify|BenchmarkParallelClassify|BenchmarkParallelClassifyWithUpdates)$$
+BENCH_SMOKE := ^(BenchmarkManagerClassify|BenchmarkParallelClassify|BenchmarkParallelClassifyWithUpdates|BenchmarkBatchClassify)$$
+
+# The facade-level batch benchmark (single vs batched pipeline, behavior
+# cache on) lives in the root package; bench-smoke runs it at a tiny
+# -benchtime for the same non-regression purpose.
+BENCH_SMOKE_ROOT := ^BenchmarkBehaviorBatch$$
 
 # Coverage floor for the observability layer: metrics and traces are what
 # operators debug incidents with, so internal/obs stays near-fully tested.
@@ -58,6 +64,7 @@ apdebug:
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench '$(BENCH_SMOKE)' -benchtime 200x -cpu 1,4 ./internal/aptree
+	$(GO) test -run '^$$' -bench '$(BENCH_SMOKE_ROOT)' -benchtime 512x .
 
 # Save → restore → verify through the real binaries: apstate writes a
 # checkpoint for every generator, then fully decodes and self-checks it.

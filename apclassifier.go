@@ -85,6 +85,13 @@ type Classifier struct {
 	// sink, when non-nil, receives per-query stage traces from Behavior
 	// and BehaviorWith; see SetTraceSink for the hook contract.
 	sink atomic.Pointer[obs.TraceRing]
+
+	// bcache is the behavior cache of the currently published epoch,
+	// installed lazily by the first query of each epoch and keyed to its
+	// snapshot by pointer identity; see cacheFor. Queries pinned to a
+	// retired epoch find a mismatch and simply walk uncached, so the
+	// pointer never needs explicit invalidation.
+	bcache atomic.Pointer[network.BehaviorCache]
 }
 
 // New compiles a dataset: converts every forwarding table and ACL to
@@ -237,14 +244,71 @@ func (c *Classifier) Classify(pkt header.Packet) *aptree.Node {
 // Behavior runs both stages: it classifies the packet and computes its
 // network-wide behavior from the given ingress box. The whole query is
 // pinned to one snapshot epoch and acquires no lock; it runs safely
-// concurrent with updates and reconstructions.
+// concurrent with updates and reconstructions. Deterministic walks are
+// memoized per (ingress, atom) in the epoch's behavior cache, so repeated
+// queries in the same traffic class skip stage 2 entirely; the returned
+// behavior may be that shared cached value and must be treated as
+// read-only.
 func (c *Classifier) Behavior(ingress int, pkt header.Packet) *network.Behavior {
 	if ring := c.sink.Load(); ring != nil {
 		return c.traceQuery(ring, nil, ingress, pkt)
 	}
 	s := c.Manager.Snapshot()
 	leaf, _ := s.Classify(pkt)
-	return c.Net.Behavior(&network.Env{Source: s}, ingress, pkt, leaf)
+	return c.behaviorVia(c.cacheFor(s), nil, s, ingress, pkt, leaf, false)
+}
+
+// cacheFor resolves the behavior cache for queries pinned to s: the
+// published epoch's cache when s is (still) the published snapshot,
+// creating and installing it on first use; nil when s is a retired epoch,
+// whose queries walk uncached rather than thrash the live table. The
+// install races benignly — CompareAndSwap serializes writers, and a
+// loser that cannot return a cache matching s returns nil, which is
+// always safe (the next query self-heals the pointer).
+func (c *Classifier) cacheFor(s *aptree.Snapshot) *network.BehaviorCache {
+	bc := c.bcache.Load()
+	if bc != nil && bc.Epoch() == s {
+		return bc
+	}
+	if c.Manager.Snapshot() != s {
+		return nil
+	}
+	fresh := network.NewBehaviorCache(s, len(c.Net.Boxes))
+	if c.bcache.CompareAndSwap(bc, fresh) {
+		return fresh
+	}
+	if bc = c.bcache.Load(); bc != nil && bc.Epoch() == s {
+		return bc
+	}
+	return nil
+}
+
+// behaviorVia is the one stage-2 pipeline every query path — single
+// packet, batch, traced, snapshot-pinned — funnels through: consult the
+// epoch's behavior cache, walk on a miss (through the caller's Walker
+// scratch when given), and memoize the walk if it was deterministic.
+// With persist set the result never aliases Walker scratch, the form
+// batch queries need (all results of a batch must be valid at once).
+func (c *Classifier) behaviorVia(bc *network.BehaviorCache, w *network.Walker, s *aptree.Snapshot, ingress int, pkt header.Packet, leaf *aptree.Node, persist bool) *network.Behavior {
+	debugCheckCacheEpoch(bc, s)
+	if bc != nil {
+		if b := bc.Lookup(ingress, leaf.AtomID); b != nil {
+			return b
+		}
+	}
+	var b *network.Behavior
+	if w != nil {
+		b = w.BehaviorPinned(s, ingress, pkt, leaf)
+		if persist || (bc != nil && b.Deterministic()) {
+			b = b.Clone()
+		}
+	} else {
+		b = c.Net.Behavior(&network.Env{Source: s}, ingress, pkt, leaf)
+	}
+	if bc != nil && b.Deterministic() {
+		bc.Store(ingress, leaf.AtomID, b)
+	}
+	return b
 }
 
 // NewWalker returns a reusable stage-2 traverser bound to this classifier,
@@ -254,15 +318,16 @@ func (c *Classifier) NewWalker() *network.Walker {
 }
 
 // BehaviorWith runs both stages using the caller's Walker, pinned to one
-// snapshot epoch like Behavior; the result is valid until the Walker's
-// next query.
+// snapshot epoch like Behavior; the result is read-only and valid until
+// the Walker's next query (cache hits return the longer-lived shared
+// behavior, but callers should assume the Walker-scratch lifetime).
 func (c *Classifier) BehaviorWith(w *network.Walker, ingress int, pkt header.Packet) *network.Behavior {
 	if ring := c.sink.Load(); ring != nil {
 		return c.traceQuery(ring, w, ingress, pkt)
 	}
 	s := c.Manager.Snapshot()
 	leaf, _ := s.Classify(pkt)
-	return w.BehaviorPinned(s, ingress, pkt, leaf)
+	return c.behaviorVia(c.cacheFor(s), w, s, ingress, pkt, leaf, false)
 }
 
 // NumPredicates reports the number of live predicates.

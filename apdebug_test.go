@@ -1,0 +1,53 @@
+//go:build apdebug
+
+package apclassifier
+
+import (
+	"strings"
+	"testing"
+
+	"apclassifier/internal/netgen"
+)
+
+// TestApdebugCacheEpochCheck drives the apdebug assertion that a cached
+// behavior is never served from a retired epoch: the cache's snapshot
+// pointer must equal the query's pinned snapshot at the single lookup
+// point (behaviorVia). cacheFor guarantees this by construction, so the
+// panic can only be provoked by calling the check directly with a
+// mismatched pair.
+func TestApdebugCacheEpochCheck(t *testing.T) {
+	ds := netgen.Internet2Like(netgen.Config{Seed: 51, RuleScale: 0.01})
+	c, err := New(ds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := c.Manager.Snapshot()
+	bc := c.cacheFor(old)
+	if bc == nil || bc.Epoch() != old {
+		t.Fatal("cacheFor must install a cache for the published epoch")
+	}
+	// Matching pair and nil cache are silent.
+	debugCheckCacheEpoch(bc, old)
+	debugCheckCacheEpoch(nil, old)
+
+	c.Reconstruct(false)
+	fresh := c.Manager.Snapshot()
+	if fresh == old {
+		t.Fatal("reconstruction must publish a new snapshot")
+	}
+	// The normal path never pairs the old cache with the new epoch…
+	if got := c.cacheFor(fresh); got != nil && got.Epoch() != fresh {
+		t.Fatal("cacheFor returned a cache from a retired epoch")
+	}
+	// …and the assertion catches anyone who does.
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("mismatched cache/epoch pair must panic under apdebug")
+		}
+		if !strings.Contains(r.(string), "apdebug") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	debugCheckCacheEpoch(bc, fresh)
+}

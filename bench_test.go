@@ -22,6 +22,7 @@ import (
 	"apclassifier/internal/bdd"
 	"apclassifier/internal/experiments"
 	"apclassifier/internal/netgen"
+	"apclassifier/internal/network"
 	"apclassifier/internal/predicate"
 )
 
@@ -103,6 +104,67 @@ func BenchmarkBehaviorInternet2(b *testing.B) {
 func BenchmarkBehaviorStanford(b *testing.B) {
 	e := getEnv(b)
 	benchBehavior(b, e.SF, e.SFDS)
+}
+
+// BenchmarkBehaviorBatch compares the batched query pipeline against the
+// single-packet path on a bursty trace (each header repeated in flows of
+// 16, the locality real query streams have) with one deterministic
+// middlebox attached so stage 2 is non-trivial but cacheable. Both paths
+// share the per-epoch behavior cache; the batch path additionally
+// collapses duplicate headers in stage 1 and dedupes (ingress, atom)
+// classes in stage 2. ns/op is per packet in every sub-benchmark.
+func BenchmarkBehaviorBatch(b *testing.B) {
+	ds := netgen.Internet2Like(netgen.Config{Seed: 1, RuleScale: benchScale().I2})
+	c, err := apclassifier.New(ds, apclassifier.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	match := c.Manager.AddPredicate(func(d *bdd.DD) bdd.Ref { return bdd.True })
+	target := ds.PacketFromFields(ds.RandomFields(rand.New(rand.NewSource(7))))
+	c.Net.Boxes[0].MB = &network.Middlebox{
+		Name: "bench-mb",
+		Entries: []network.MBEntry{{
+			Match: match, Type: network.MBDeterministic,
+			Rewrite: func(pkt []byte) [][]byte {
+				out := make([]byte, len(target))
+				copy(out, target)
+				return [][]byte{out}
+			},
+		}},
+	}
+
+	const flow = 16
+	rng := rand.New(rand.NewSource(8))
+	trace := make([][]byte, 4096)
+	ing := make([]int, len(trace))
+	for i := 0; i < len(trace); i += flow {
+		pkt := ds.PacketFromFields(ds.RandomFields(rng))
+		box := rng.Intn(len(ds.Boxes))
+		for k := i; k < len(trace) && k < i+flow; k++ {
+			trace[k] = pkt
+			ing[k] = box
+		}
+	}
+
+	b.Run("single", func(b *testing.B) {
+		w := c.NewWalker()
+		for i := 0; i < b.N; i++ {
+			c.BehaviorWith(w, ing[i%len(ing)], trace[i%len(trace)])
+		}
+	})
+	for _, size := range []int{16, 64, 256} {
+		b.Run("batch"+strconv.Itoa(size), func(b *testing.B) {
+			buf := c.NewBatchBuffer()
+			pos := 0
+			for i := 0; i < b.N; i += size {
+				if pos+size > len(trace) {
+					pos = 0
+				}
+				c.BehaviorBatch(buf, ing[pos:pos+size], trace[pos:pos+size])
+				pos += size
+			}
+		})
+	}
 }
 
 // --- One benchmark per table/figure ---

@@ -1,0 +1,11 @@
+//go:build !apdebug
+
+package apclassifier
+
+import (
+	"apclassifier/internal/aptree"
+	"apclassifier/internal/network"
+)
+
+// debugCheckCacheEpoch is free in release builds; see debug_on.go.
+func debugCheckCacheEpoch(*network.BehaviorCache, *aptree.Snapshot) {}

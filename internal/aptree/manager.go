@@ -395,7 +395,8 @@ func (m *Manager) UpdatesSinceSwap() int {
 // goroutine: every interval it checks whether at least threshold updates
 // hit the live tree since the last swap and, if so, rebuilds (optionally
 // distribution-aware) and swaps. The returned stop function halts the
-// policy and waits for any in-flight rebuild to finish.
+// policy and waits for any in-flight rebuild to finish; it is idempotent,
+// so callers may both defer it and invoke it early.
 func (m *Manager) AutoReconstruct(threshold int, interval time.Duration, weighted bool) (stop func()) {
 	if threshold < 1 {
 		panic("aptree: AutoReconstruct threshold must be >= 1")
@@ -418,8 +419,9 @@ func (m *Manager) AutoReconstruct(threshold int, interval time.Duration, weighte
 			}
 		}
 	}()
+	var once sync.Once
 	return func() {
-		close(done)
+		once.Do(func() { close(done) })
 		wg.Wait()
 	}
 }

@@ -104,6 +104,10 @@ func TestSnapshotPinnedEpochUnderChurn(t *testing.T) {
 	}
 	wg.Wait()
 
+	// Halt the reconstruction policy before validating: Validate runs BDD
+	// operations on the live diagram and must not race a background swap.
+	stop()
+
 	if err := m.Tree().Validate(m.LiveIDs()); err != nil {
 		t.Fatal(err)
 	}

@@ -315,6 +315,12 @@ func (t *Tree) Pred(id int32) bdd.Ref { return t.preds[id] }
 // NumPreds reports the size of the predicate ID space known to the tree.
 func (t *Tree) NumPreds() int { return len(t.preds) }
 
+// AtomIDBound returns an exclusive upper bound on the AtomIDs carried by
+// this tree's leaves. AtomIDs are never reused within a tree lineage, so
+// the bound sizes flat per-atom tables (the behavior cache) that index by
+// AtomID.
+func (t *Tree) AtomIDBound() int32 { return t.nextAtom }
+
 // Classify walks the tree and returns the leaf whose atom contains the
 // packet. It is the stage-1 hot path and does not allocate.
 func (t *Tree) Classify(pkt []byte) *Node {

@@ -74,6 +74,9 @@ func (c *visitCounters) view() visitView {
 // add increments atom's counter on the calling goroutine's stripe.
 func (c *visitCounters) add(atom int32) { c.view().add(atom) }
 
+// addN adds n visits to atom's counter on the calling goroutine's stripe.
+func (c *visitCounters) addN(atom int32, n uint64) { c.view().addN(atom, n) }
+
 // count sums atom's stripes.
 func (c *visitCounters) count(atom int32) uint64 { return c.view().count(atom) }
 
@@ -94,10 +97,14 @@ type visitView struct {
 	chunks []*visitChunk
 }
 
-func (v visitView) add(atom int32) {
+func (v visitView) add(atom int32) { v.addN(atom, 1) }
+
+// addN adds n visits to atom's counter in one striped add — how batched
+// classification charges a whole leaf group at once.
+func (v visitView) addN(atom int32, n uint64) {
 	ch := *v.chunks[atom>>visitChunkBits]
 	i := stripeHint()<<visitChunkBits | int(atom)&(visitChunkSize-1)
-	atomic.AddUint64(&ch[i], 1)
+	atomic.AddUint64(&ch[i], n)
 }
 
 func (v visitView) count(atom int32) uint64 {

@@ -1,0 +1,99 @@
+package network
+
+import (
+	"sync/atomic"
+
+	"apclassifier/internal/aptree"
+)
+
+// BehaviorCache memoizes network-wide behaviors per (ingress box, leaf
+// atom) for one immutable classifier epoch — the paper's central
+// invariant made operational: every packet matching the same atomic
+// predicate has the identical behavior from a given ingress (§III, §IV),
+// so the first walk of an (ingress, atom) pair can answer every later
+// packet in the class.
+//
+// The cache is owned by the epoch it was built for and dies with it:
+// entries live in a flat table of atomic pointers sized by the epoch
+// tree's AtomID bound, and consumers key the whole cache on the epoch
+// snapshot's pointer identity (not its version — several published
+// snapshots share a version between reconstructions, and each one
+// partitions atoms differently). Invalidation is therefore structural;
+// there is no eviction, no generation counter, and no lock anywhere:
+// Lookup is one atomic load, Store one atomic store, preserving the
+// lock-free query discipline of the snapshot path.
+//
+// Only deterministic walks may be stored. A walk that traversed a Type-2
+// (payload-dependent) or Type-3 (probabilistic) middlebox entry is not a
+// pure function of the atom (§V-E) and must be recomputed per packet;
+// Behavior.Deterministic reports that. Type-1 entries are atom-consistent
+// by the paper's model (their new atomic predicate is a function of the
+// entry and the incoming atom — the same contract the middlebox flow
+// table already relies on), so behaviors that only cross Type-1
+// middleboxes remain cacheable.
+//
+// Stored *Behavior values are shared between all readers and must be
+// treated as immutable.
+type BehaviorCache struct {
+	epoch *aptree.Snapshot
+	atoms int32
+	slots []atomic.Pointer[Behavior]
+}
+
+// NewBehaviorCache builds an empty cache for the given epoch over a
+// network of `boxes` boxes. Allocation is one flat pointer table of
+// boxes × AtomIDBound slots; entries fill lazily as walks complete.
+func NewBehaviorCache(epoch *aptree.Snapshot, boxes int) *BehaviorCache {
+	atoms := epoch.Tree().AtomIDBound()
+	return &BehaviorCache{
+		epoch: epoch,
+		atoms: atoms,
+		slots: make([]atomic.Pointer[Behavior], boxes*int(atoms)),
+	}
+}
+
+// Epoch returns the snapshot this cache memoizes for. Consumers must
+// compare it by pointer identity against the snapshot they are querying
+// before trusting a Lookup.
+func (c *BehaviorCache) Epoch() *aptree.Snapshot { return c.epoch }
+
+// Lookup returns the memoized behavior for (ingress, atom), or nil on a
+// miss. It also feeds the apc_behavior_cache_{hits,misses}_total
+// counters.
+func (c *BehaviorCache) Lookup(ingress int, atom int32) *Behavior {
+	i := ingress*int(c.atoms) + int(atom)
+	if atom < 0 || atom >= c.atoms || i >= len(c.slots) {
+		mCacheMisses.Inc()
+		return nil
+	}
+	if b := c.slots[i].Load(); b != nil {
+		mCacheHits.Inc()
+		return b
+	}
+	mCacheMisses.Inc()
+	return nil
+}
+
+// Store memoizes a behavior for (ingress, atom). The caller must have
+// computed b against this cache's epoch, and b must be deterministic
+// (Behavior.Deterministic) and never mutated afterwards. Out-of-range
+// atoms are ignored. Concurrent stores of the same pair race benignly:
+// both values are correct, one wins.
+func (c *BehaviorCache) Store(ingress int, atom int32, b *Behavior) {
+	i := ingress*int(c.atoms) + int(atom)
+	if atom < 0 || atom >= c.atoms || i >= len(c.slots) {
+		return
+	}
+	c.slots[i].Store(b)
+}
+
+// Len counts the filled entries; for tests and debugging.
+func (c *BehaviorCache) Len() int {
+	n := 0
+	for i := range c.slots {
+		if c.slots[i].Load() != nil {
+			n++
+		}
+	}
+	return n
+}

@@ -54,9 +54,11 @@ type Middlebox struct {
 	// header — the "new atomic predicate" column of the paper's flow
 	// table. It is invalidated when the AP Tree is swapped (version
 	// change). Only MBDeterministic entries use it.
-	mu           sync.Mutex
+	mu sync.Mutex
+	//lint:guard mu
 	cacheVersion uint64
-	cache        map[mbCacheKey]*aptree.Node
+	//lint:guard mu
+	cache map[mbCacheKey]*aptree.Node
 }
 
 type mbCacheKey struct {
@@ -80,6 +82,13 @@ func (m *Middlebox) process(env *Env, b *Behavior, w workItem) ([]workItem, bool
 		e := &m.Entries[ei]
 		if !member(env, w.leaf, e.Match) {
 			continue
+		}
+		if e.Type != MBDeterministic {
+			// The entry's outcome — pass, drop, or whichever rewrite —
+			// may differ between packets of the same atom, so the walk as
+			// a whole stops being a function of the atom (§V-E) and the
+			// behavior cache must skip it.
+			b.nondet = true
 		}
 		outs := e.Rewrite(w.pkt)
 		if outs == nil {

@@ -177,6 +177,30 @@ type Behavior struct {
 	// Probabilistic is set when some middlebox entry was Type 3, so the
 	// behavior is one of several possibilities (all are included).
 	Probabilistic bool
+
+	// nondet is set when the walk matched a middlebox entry whose outcome
+	// is not a pure function of the packet's atomic predicate — Type 2
+	// (payload-dependent) or Type 3 (probabilistic) entries (§V-E). Such
+	// a behavior describes this packet only, not its whole atom, so the
+	// per-epoch behavior cache must never store it.
+	nondet bool
+}
+
+// Deterministic reports whether the behavior is a pure function of
+// (ingress, atomic predicate): no Type-2 or Type-3 middlebox entry was
+// matched during the walk. Only deterministic behaviors may be memoized
+// per atom (§V-E).
+func (b *Behavior) Deterministic() bool { return !b.nondet }
+
+// Clone returns a deep copy whose slices do not alias b — how a behavior
+// computed in Walker scratch is made durable before it is cached or
+// returned from a batch.
+func (b *Behavior) Clone() *Behavior {
+	c := *b
+	c.Edges = append([]Edge(nil), b.Edges...)
+	c.Deliveries = append([]Delivery(nil), b.Deliveries...)
+	c.Drops = append([]DropEvent(nil), b.Drops...)
+	return &c
 }
 
 // Delivered reports whether any branch reached the named host (any host if

@@ -1,0 +1,109 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"reflect"
+	"testing"
+
+	"apclassifier/internal/netgen"
+)
+
+func batchRequests(ds *netgen.Dataset, rng *rand.Rand, n int) []QueryRequest {
+	reqs := make([]QueryRequest, n)
+	for i := range reqs {
+		f := ds.RandomFields(rng)
+		if i%3 == 0 && i > 0 {
+			// Duplicate headers exercise the batch pipeline's collapse paths.
+			reqs[i] = reqs[i-1]
+			continue
+		}
+		reqs[i] = QueryRequest{
+			Ingress: ds.Boxes[rng.Intn(len(ds.Boxes))].Name,
+			Dst:     fmt.Sprintf("%d.%d.%d.%d", byte(f.Dst>>24), byte(f.Dst>>16), byte(f.Dst>>8), byte(f.Dst)),
+		}
+	}
+	return reqs
+}
+
+// TestBatchEndpointMatchesSingle holds /query/batch to the /query answer,
+// element-wise, for a mixed batch of random and duplicated queries.
+func TestBatchEndpointMatchesSingle(t *testing.T) {
+	ts, ds := testServer(t)
+	rng := rand.New(rand.NewSource(72))
+	for _, size := range []int{1, 7, 64} {
+		reqs := batchRequests(ds, rng, size)
+		var got []QueryResponse
+		if code := postJSON(t, ts.URL+"/query/batch", reqs, &got); code != 200 {
+			t.Fatalf("batch status %d", code)
+		}
+		if len(got) != len(reqs) {
+			t.Fatalf("batch of %d answered %d responses", len(reqs), len(got))
+		}
+		for i, req := range reqs {
+			var want QueryResponse
+			if code := postJSON(t, ts.URL+"/query", req, &want); code != 200 {
+				t.Fatalf("single status %d", code)
+			}
+			if !reflect.DeepEqual(got[i], want) {
+				t.Fatalf("size %d, query %d: batch %+v, single %+v", size, i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestBatchEndpointValidation(t *testing.T) {
+	ts, ds := testServer(t)
+
+	var empty []QueryResponse
+	if code := postJSON(t, ts.URL+"/query/batch", []QueryRequest{}, &empty); code != 200 || len(empty) != 0 {
+		t.Fatalf("empty batch: status %d, body %v", code, empty)
+	}
+
+	resp, err := http.Post(ts.URL+"/query/batch", "application/json", bytes.NewReader([]byte("{not-an-array")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("garbage JSON: status %d", resp.StatusCode)
+	}
+
+	// A bad element is reported with its index.
+	bad := []QueryRequest{
+		{Ingress: ds.Boxes[0].Name, Dst: "10.0.0.1"},
+		{Ingress: "nosuch", Dst: "10.0.0.1"},
+	}
+	var errResp map[string]string
+	if code := postJSON(t, ts.URL+"/query/batch", bad, &errResp); code != 400 {
+		t.Fatalf("unknown box: status %d", code)
+	}
+	if errResp["error"] == "" || !bytes.Contains([]byte(errResp["error"]), []byte("query 1")) {
+		t.Fatalf("error does not locate the bad element: %q", errResp["error"])
+	}
+	bad[1] = QueryRequest{Ingress: ds.Boxes[0].Name, Dst: "not-an-ip"}
+	if code := postJSON(t, ts.URL+"/query/batch", bad, &errResp); code != 400 {
+		t.Fatalf("bad dst: status %d", code)
+	}
+
+	// Oversized batches are refused before any work happens.
+	huge := batchRequests(ds, rand.New(rand.NewSource(1)), maxBatch+1)
+	if code := postJSON(t, ts.URL+"/query/batch", huge, &errResp); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized batch: status %d, want 413", code)
+	}
+
+	req, err := http.NewRequest("GET", ts.URL+"/query/batch", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /query/batch: status %d, want 405", r2.StatusCode)
+	}
+}

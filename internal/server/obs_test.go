@@ -23,6 +23,15 @@ func TestMetricsEndpoint(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		doQuery(t, ts.URL, ds.Boxes[0].Name)
 	}
+	// One batch so the batch histograms and cache counters have samples.
+	var batchResp []QueryResponse
+	batch := []QueryRequest{
+		{Ingress: ds.Boxes[0].Name, Dst: "10.1.2.3"},
+		{Ingress: ds.Boxes[0].Name, Dst: "10.1.2.3"},
+	}
+	if code := postJSON(t, ts.URL+"/query/batch", batch, &batchResp); code != 200 {
+		t.Fatalf("batch status %d", code)
+	}
 	resp, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
 		t.Fatal(err)
@@ -47,6 +56,13 @@ func TestMetricsEndpoint(t *testing.T) {
 		"apc_server_query_duration_seconds_count",
 		"apc_aptree_classify_duration_seconds_count",
 		"apc_network_walk_duration_seconds_count",
+		"# TYPE apc_batch_size histogram",
+		"apc_batch_size_count",
+		"apc_server_batch_duration_seconds_count",
+		"apc_aptree_batch_classify_duration_seconds_count",
+		"apc_network_batch_walk_duration_seconds_count",
+		"apc_behavior_cache_hits_total",
+		"apc_behavior_cache_misses_total",
 		"apc_aptree_classify_total",
 		"apc_aptree_atoms",
 		"apc_aptree_predicates_live",

@@ -7,6 +7,7 @@
 //
 //	GET  /stats                     → dataset and classifier statistics
 //	POST /query                     → {"dst":"10.1.2.3","ingress":"seattle", ...} → behavior
+//	POST /query/batch               → [query, ...] → [behavior, ...] (≤256 per request)
 //	POST /rules/add                 → {"box":"seattle","prefix":"10.0.0.0/8","port":3}
 //	POST /rules/remove              → {"box":"seattle","prefix":"10.0.0.0/8"}
 //	POST /reconstruct               → {"weighted":false}
@@ -37,8 +38,10 @@ import (
 	"time"
 
 	"apclassifier"
+	"apclassifier/internal/aptree"
 	"apclassifier/internal/checkpoint"
 	"apclassifier/internal/netgen"
+	"apclassifier/internal/network"
 	"apclassifier/internal/obs"
 	"apclassifier/internal/rule"
 	"apclassifier/internal/verify"
@@ -58,7 +61,24 @@ var (
 		"Stage-1 AP Tree classification latency, sampled per /query request.", obs.DefBuckets)
 	mWalkDur = obs.Default.Histogram("apc_network_walk_duration_seconds",
 		"Stage-2 behavior-walk latency, sampled per /query request.", obs.DefBuckets)
+	mBatchDur = obs.Default.Histogram("apc_server_batch_duration_seconds",
+		"End-to-end /query/batch latency: parse, pin, batch classify, batch walk, encode.", obs.DefBuckets)
+	mBatchClassifyDur = obs.Default.Histogram("apc_aptree_batch_classify_duration_seconds",
+		"Stage-1 batch classification latency (whole batch), per /query/batch request.", obs.DefBuckets)
+	mBatchWalkDur = obs.Default.Histogram("apc_network_batch_walk_duration_seconds",
+		"Stage-2 batch behavior latency (whole batch), per /query/batch request.", obs.DefBuckets)
+	mBatchSize = obs.Default.Histogram("apc_batch_size",
+		"Accepted /query/batch sizes (packets per request).", batchSizeBuckets)
 )
+
+// maxBatch bounds a /query/batch request; larger batches are refused with
+// 413 so one request cannot hold decoded packets and results for an
+// unbounded payload. Clients split bigger workloads into several
+// requests — throughput saturates well before this size (EXPERIMENTS.md).
+const maxBatch = 256
+
+// batchSizeBuckets are power-of-two size buckets up to maxBatch.
+var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
 
 // Server wraps a classifier with an HTTP API.
 type Server struct {
@@ -79,6 +99,11 @@ type Server struct {
 	// before the handler serves traffic; nil means POST /checkpoint
 	// answers 503.
 	ckpt *checkpoint.Dir
+
+	// bufs pools BatchBuffers for /query/batch, one checked out per
+	// in-flight request, so steady-state batches reuse classify scratch,
+	// result slices and walker state instead of allocating them.
+	bufs sync.Pool
 }
 
 // New builds a server around a compiled classifier. The classifier's
@@ -86,6 +111,7 @@ type Server struct {
 // (newest classifier wins) and a trace ring is installed as its sink.
 func New(c *apclassifier.Classifier) *Server {
 	s := &Server{c: c, ds: c.Dataset, trace: obs.NewTraceRing(traceRingSize)}
+	s.bufs.New = func() interface{} { return c.NewBatchBuffer() }
 	c.RegisterMetrics(obs.Default)
 	c.SetTraceSink(s.trace)
 	return s
@@ -96,6 +122,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /query/batch", s.handleQueryBatch)
 	mux.HandleFunc("POST /rules/add", s.handleRuleAdd)
 	mux.HandleFunc("POST /rules/remove", s.handleRuleRemove)
 	mux.HandleFunc("POST /reconstruct", s.handleReconstruct)
@@ -184,17 +211,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad JSON: %v", err)
 		return
 	}
-	f := rule.Fields{SrcPort: req.SrcPort, DstPort: req.DstPort, Proto: req.Proto}
-	var err error
-	if f.Dst, err = parseIP(req.Dst); err != nil {
-		writeErr(w, http.StatusBadRequest, "dst: %v", err)
+	f, err := req.fields()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
-	}
-	if req.Src != "" {
-		if f.Src, err = parseIP(req.Src); err != nil {
-			writeErr(w, http.StatusBadRequest, "src: %v", err)
-			return
-		}
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -232,6 +252,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Drops:    len(b.Drops),
 		Rewrites: b.Rewrites,
 	})
+	writeJSON(w, http.StatusOK, s.buildResponse(leaf, b))
+}
+
+// buildResponse renders one answered query; shared by /query and
+// /query/batch so the two endpoints cannot drift in shape.
+func (s *Server) buildResponse(leaf *aptree.Node, b *network.Behavior) QueryResponse {
 	resp := QueryResponse{Atom: leaf.AtomID, Depth: leaf.Depth}
 	for _, d := range b.Deliveries {
 		resp.Delivered = append(resp.Delivered, d.Host)
@@ -244,7 +270,79 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			resp.Path = append(resp.Path, s.c.Net.Boxes[box].Name)
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp
+}
+
+// fields converts a request into stage-0 match fields, reporting which
+// field (if any) failed to parse.
+func (q *QueryRequest) fields() (rule.Fields, error) {
+	f := rule.Fields{SrcPort: q.SrcPort, DstPort: q.DstPort, Proto: q.Proto}
+	var err error
+	if f.Dst, err = parseIP(q.Dst); err != nil {
+		return f, fmt.Errorf("dst: %w", err)
+	}
+	if q.Src != "" {
+		if f.Src, err = parseIP(q.Src); err != nil {
+			return f, fmt.Errorf("src: %w", err)
+		}
+	}
+	return f, nil
+}
+
+// handleQueryBatch answers a JSON array of queries in one request. The
+// whole batch is pinned to a single classifier epoch and answered through
+// the batched pipeline: one group-by-branch tree descent for all packets,
+// and one behavior walk per distinct (ingress, atom) class. Batches above
+// maxBatch are refused with 413 Content Too Large.
+func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
+	var reqs []QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&reqs); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if len(reqs) > maxBatch {
+		writeErr(w, http.StatusRequestEntityTooLarge,
+			"batch of %d exceeds the %d-query limit; split the workload", len(reqs), maxBatch)
+		return
+	}
+	if len(reqs) == 0 {
+		writeJSON(w, http.StatusOK, []QueryResponse{})
+		return
+	}
+	ingress := make([]int, len(reqs))
+	pkts := make([][]byte, len(reqs))
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for i := range reqs {
+		f, err := reqs[i].fields()
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "query %d: %v", i, err)
+			return
+		}
+		ingress[i] = s.c.Net.BoxByName(reqs[i].Ingress)
+		if ingress[i] < 0 {
+			writeErr(w, http.StatusBadRequest, "query %d: unknown ingress box %q", i, reqs[i].Ingress)
+			return
+		}
+		pkts[i] = s.ds.PacketFromFields(f)
+	}
+	buf := s.bufs.Get().(*apclassifier.BatchBuffer)
+	defer s.bufs.Put(buf)
+	t0 := time.Now()
+	snap := s.c.Snapshot()
+	leaves := snap.ClassifyBatch(buf, pkts)
+	t1 := time.Now()
+	behaviors := snap.BehaviorBatchFrom(buf, ingress, pkts, leaves)
+	t2 := time.Now()
+	resps := make([]QueryResponse, len(reqs))
+	for i := range resps {
+		resps[i] = s.buildResponse(leaves[i], behaviors[i])
+	}
+	mBatchSize.Record(float64(len(reqs)))
+	mBatchClassifyDur.Record(t1.Sub(t0).Seconds())
+	mBatchWalkDur.Record(t2.Sub(t1).Seconds())
+	mBatchDur.Record(t2.Sub(t0).Seconds())
+	writeJSON(w, http.StatusOK, resps)
 }
 
 // RuleRequest is the /rules/{add,remove} payload.

@@ -65,12 +65,7 @@ func (c *Classifier) traceQuery(ring *obs.TraceRing, w *network.Walker, ingress 
 	t1 := time.Now()
 	leaf, version := s.Classify(pkt)
 	t2 := time.Now()
-	var b *network.Behavior
-	if w != nil {
-		b = w.BehaviorPinned(s, ingress, pkt, leaf)
-	} else {
-		b = c.Net.Behavior(&network.Env{Source: s}, ingress, pkt, leaf)
-	}
+	b := c.behaviorVia(c.cacheFor(s), w, s, ingress, pkt, leaf, false)
 	t3 := time.Now()
 	ring.Record(obs.QueryTrace{
 		Start:    t0,

@@ -42,16 +42,21 @@ func (s *Snapshot) Classify(pkt header.Packet) *aptree.Node {
 	return leaf
 }
 
-// Behavior runs both stages against the pinned epoch.
+// Behavior runs both stages against the pinned epoch. Like
+// Classifier.Behavior it consults the epoch's behavior cache (when the
+// pinned epoch is still the published one) and memoizes deterministic
+// walks; the result may be that shared cached value and must be treated
+// as read-only.
 func (s *Snapshot) Behavior(ingress int, pkt header.Packet) *network.Behavior {
 	leaf, _ := s.s.Classify(pkt)
-	return s.c.Net.Behavior(&network.Env{Source: s.s}, ingress, pkt, leaf)
+	return s.c.behaviorVia(s.c.cacheFor(s.s), nil, s.s, ingress, pkt, leaf, false)
 }
 
-// BehaviorWith is Behavior using the caller's Walker scratch space.
+// BehaviorWith is Behavior using the caller's Walker scratch space; the
+// result is read-only and valid until the Walker's next query.
 func (s *Snapshot) BehaviorWith(w *network.Walker, ingress int, pkt header.Packet) *network.Behavior {
 	leaf, _ := s.s.Classify(pkt)
-	return w.BehaviorPinned(s.s, ingress, pkt, leaf)
+	return s.c.behaviorVia(s.c.cacheFor(s.s), w, s.s, ingress, pkt, leaf, false)
 }
 
 // BehaviorFrom runs stage 2 only, from a leaf the caller already
@@ -59,7 +64,7 @@ func (s *Snapshot) BehaviorWith(w *network.Walker, ingress int, pkt header.Packe
 // the leaf and the behavior (the server's /query, traced queries) use it
 // to avoid classifying the packet twice.
 func (s *Snapshot) BehaviorFrom(ingress int, pkt header.Packet, leaf *aptree.Node) *network.Behavior {
-	return s.c.Net.Behavior(&network.Env{Source: s.s}, ingress, pkt, leaf)
+	return s.c.behaviorVia(s.c.cacheFor(s.s), nil, s.s, ingress, pkt, leaf, false)
 }
 
 // NumPredicates reports the number of live predicates in the epoch.

@@ -73,6 +73,34 @@ func TestBehaviorUnderManagerChurn(t *testing.T) {
 		}
 	}()
 
+	// Batch reader: whole batches interleave with the updates and swaps;
+	// each batch pins one epoch, so its answers must stay coherent even
+	// when the behavior cache is replaced mid-flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := c.NewBatchBuffer()
+		pkts := make([][]byte, len(queries))
+		ingress := make([]int, len(queries))
+		for i, q := range queries {
+			pkts[i] = q.pkt
+			ingress[i] = q.ingress
+		}
+		for i := 0; i < 400; i++ {
+			for k, b := range c.BehaviorBatch(buf, ingress, pkts) {
+				if got := b.String(); got != queries[k].want {
+					t.Errorf("BehaviorBatch drifted under churn:\n got %q\nwant %q", got, queries[k].want)
+					return
+				}
+			}
+			select {
+			case <-done:
+				return
+			default:
+			}
+		}
+	}()
+
 	for r := 0; r < 3; r++ {
 		wg.Add(1)
 		go func(seed int64) {
