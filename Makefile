@@ -7,7 +7,7 @@ GO ?= go
 # detector (snapshot query path at the facade, Manager two-process
 # operation, frozen BDD views, HTTP server, background checkpointer,
 # experiment harness workers).
-RACE_PKGS := . ./internal/aptree ./internal/bdd ./internal/server ./internal/checkpoint ./internal/experiments
+RACE_PKGS := . ./internal/aptree ./internal/bdd ./internal/server ./internal/checkpoint ./internal/experiments ./internal/lint
 
 # Packages carrying apdebug-tagged sanitizer tests (post-GC BDD audits,
 # AP Tree leaf-partition checks, behavior-cache epoch assertions at the

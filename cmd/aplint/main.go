@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	aplint [-checks list] [-list] [./...]
+//	aplint [-checks list] [-json] [-list] [./...]
+//
+// With -json, findings are emitted as a JSON array of objects with
+// file/line/col/check/message fields (an empty array when clean), for
+// editor and CI integrations; the human summary still goes to stderr.
 //
 // aplint loads every package of the enclosing module from source using only
 // the standard library tool chain, so it needs no network and no installed
@@ -16,6 +20,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,11 +28,21 @@ import (
 	"apclassifier/internal/lint"
 )
 
+// jsonFinding is the stable machine-readable shape of one diagnostic.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
 func main() {
 	checks := flag.String("checks", "all", "comma-separated analyzer names to run")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array instead of plain text")
 	list := flag.Bool("list", false, "list available analyzers and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: aplint [-checks list] [-list] [./...]\n")
+		fmt.Fprintf(os.Stderr, "usage: aplint [-checks list] [-json] [-list] [./...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -71,8 +86,27 @@ func main() {
 	}
 
 	diags := lint.Run(m, analyzers)
-	for _, d := range diags {
-		fmt.Println(d)
+	if *asJSON {
+		findings := make([]jsonFinding, 0, len(diags))
+		for _, d := range diags {
+			findings = append(findings, jsonFinding{
+				File:    d.Pos.Filename,
+				Line:    d.Pos.Line,
+				Col:     d.Pos.Column,
+				Check:   d.Check,
+				Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "aplint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "aplint: %d finding(s) in %d package(s)\n", len(diags), len(m.Pkgs))

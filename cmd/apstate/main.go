@@ -192,7 +192,7 @@ func cmdDump(args []string) error {
 	}
 	snap := res.Manager.Snapshot()
 	fmt.Printf("epoch %d, method %s, %d live predicates, %d atoms, avg tree depth %.2f\n",
-		res.Epoch, res.Method, res.Manager.NumLive(), snap.Tree().NumLeaves(),
+		res.Epoch, res.Method, snap.NumLive(), snap.Tree().NumLeaves(),
 		snap.Tree().AverageDepth())
 	ds := res.Dataset
 	fmt.Printf("dataset %s: %d boxes, %d links, %d hosts, %d fwd rules, %d ACL rules\n",

@@ -81,7 +81,6 @@ func (t *Tree) addRec(n *Node, id int32, p bdd.Ref) *Node {
 	mt := n.Member.Clone(len(t.preds))
 	mt.Set(int(id), true)
 	mf := n.Member.Clone(len(t.preds))
-	//lint:ignore retainrelease ownership transfers to the epoch: refs are dropped wholesale when Reconstruct abandons this DD
 	d.Retain(tr)
 	d.Retain(fr)
 	tLeaf := &Node{Pred: -1, Depth: n.Depth + 1, AtomID: t.nextAtom, BDD: tr, Member: mt}

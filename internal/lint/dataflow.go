@@ -1,0 +1,355 @@
+package lint
+
+// dataflow.go is the shared intraprocedural value-flow engine behind the
+// concurrency-invariant analyzers (epochpin, frozenwrite, poolpair). It
+// answers one question per function: which local variables may alias a
+// value produced by a set of "source" expressions? The pass follows
+// assignments, short variable declarations, var specs, type assertions,
+// tuple-returning calls, range clauses and — because function literals
+// resolve outer locals to the same *types.Var objects — goroutine and
+// closure captures, iterating to a fixed point.
+//
+// Taint deliberately flows only through pointer-shaped projections
+// (pointers, slices, maps, channels, interfaces): indexing a tainted
+// slice of structs copies the element, and mutating a copy cannot reach
+// the original memory, so the flow stops there. Freshly constructed
+// values (composite literals, new/make, sanctioned cloning constructors)
+// never carry taint even when their type matches a source.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// flowFact records why a local variable is tainted: the position of the
+// assignment that first tainted it and the tag the source classifier
+// attached to the originating expression (analyzer-specific, e.g. the
+// home package of a frozen type).
+type flowFact struct {
+	pos token.Pos
+	tag string
+}
+
+// flowConfig configures one value-flow query over a function.
+type flowConfig struct {
+	// source classifies non-identifier expressions that produce a
+	// tracked value directly (a snapshot load, a Pool.Get). ok=false
+	// means the expression is not itself a source; it may still be
+	// tainted structurally.
+	source func(e ast.Expr) (tag string, ok bool)
+	// sourceType classifies values by type alone — consulted for any
+	// expression source did not claim, and for the per-position result
+	// types of tuple-returning calls, where no sub-expression exists to
+	// hand to source.
+	sourceType func(t types.Type) (tag string, ok bool)
+	// fresh marks expressions whose value is provably newly constructed
+	// (composite literals, new/make, Clone results): they and anything
+	// assigned from them are never tainted, even when sourceType would
+	// match their type.
+	fresh func(e ast.Expr) bool
+	// seed taints variables that enter the function already carrying a
+	// tracked value (parameters, receivers).
+	seed func(v *types.Var) (tag string, ok bool)
+	// derive propagates taint through pointer-shaped projections:
+	// selecting, indexing, slicing or dereferencing a tainted value
+	// taints the result when the result can still reach the original
+	// memory. Method calls on a tainted receiver with a pointer-shaped
+	// result are treated as getters into the tainted value (s.Tree()),
+	// and the builtin append carries the taint of its arguments.
+	derive bool
+}
+
+// flowState is the engine's per-function working set; after analyze() it
+// doubles as the query interface for "is this expression tainted?".
+type flowState struct {
+	info   *types.Info
+	cfg    flowConfig
+	inFunc func(*types.Var) bool
+	vars   map[*types.Var]flowFact
+}
+
+// flowVars runs the value-flow pass over fd and returns the final state.
+// Use state.vars for the tainted-variable set and state.tainted for
+// arbitrary expressions (e.g. the base of an assignment target).
+func flowVars(info *types.Info, fd *ast.FuncDecl, cfg flowConfig) *flowState {
+	fl := &flowState{
+		info: info,
+		cfg:  cfg,
+		inFunc: func(v *types.Var) bool {
+			return v.Pos() >= fd.Pos() && v.Pos() <= fd.End()
+		},
+		vars: make(map[*types.Var]flowFact),
+	}
+	if cfg.seed != nil {
+		seedFields := func(fl2 *ast.FieldList) {
+			if fl2 == nil {
+				return
+			}
+			for _, f := range fl2.List {
+				for _, name := range f.Names {
+					if v, ok := info.Defs[name].(*types.Var); ok {
+						if tag, isSrc := cfg.seed(v); isSrc {
+							fl.vars[v] = flowFact{name.Pos(), tag}
+						}
+					}
+				}
+			}
+		}
+		seedFields(fd.Recv)
+		seedFields(fd.Type.Params)
+	}
+	if fd.Body == nil {
+		return fl
+	}
+	// Fixed point: each round may taint more variables (never fewer),
+	// so the loop terminates once a full pass adds nothing.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				changed = fl.flowAssign(n.Lhs, n.Rhs) || changed
+			case *ast.ValueSpec:
+				changed = fl.flowSpec(n) || changed
+			case *ast.RangeStmt:
+				changed = fl.flowRange(n) || changed
+			}
+			return true
+		})
+	}
+	return fl
+}
+
+// taint marks the variable behind lhs (if function-local) with fact.
+func (fl *flowState) taint(lhs ast.Expr, fact flowFact) bool {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return false
+	}
+	v := localVar(fl.info, id, fl.inFunc)
+	if v == nil {
+		return false
+	}
+	if _, seen := fl.vars[v]; seen {
+		return false
+	}
+	fl.vars[v] = fact
+	return true
+}
+
+func (fl *flowState) flowAssign(lhs, rhs []ast.Expr) bool {
+	changed := false
+	if len(lhs) == len(rhs) {
+		for i := range lhs {
+			if fact, ok := fl.tainted(rhs[i]); ok {
+				changed = fl.taint(lhs[i], fact) || changed
+			}
+		}
+		return changed
+	}
+	// Tuple form: x, y, err := f(). No per-value sub-expression exists,
+	// so judge each result position by type.
+	if len(rhs) != 1 || fl.cfg.sourceType == nil {
+		return false
+	}
+	call, ok := ast.Unparen(rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	tup, ok := fl.info.TypeOf(call).(*types.Tuple)
+	if !ok || tup.Len() != len(lhs) {
+		return false
+	}
+	for i := range lhs {
+		if tag, ok := fl.cfg.sourceType(tup.At(i).Type()); ok {
+			changed = fl.taint(lhs[i], flowFact{call.Pos(), tag}) || changed
+		}
+	}
+	return changed
+}
+
+func (fl *flowState) flowSpec(spec *ast.ValueSpec) bool {
+	changed := false
+	if len(spec.Values) == len(spec.Names) {
+		for i, name := range spec.Names {
+			if fact, ok := fl.tainted(spec.Values[i]); ok {
+				changed = fl.taint(name, fact) || changed
+			}
+		}
+	}
+	return changed
+}
+
+func (fl *flowState) flowRange(r *ast.RangeStmt) bool {
+	if !fl.cfg.derive || r.Value == nil {
+		return false
+	}
+	fact, ok := fl.tainted(r.X)
+	if !ok {
+		return false
+	}
+	// Ranging a tainted container taints the element variable only when
+	// elements are pointer-shaped; value elements are copies.
+	if t := fl.info.TypeOf(r.Value); t != nil && pointerShaped(t) {
+		return fl.taint(r.Value, fact)
+	}
+	return false
+}
+
+// tainted reports whether evaluating e may yield a tracked value, and
+// the originating fact when it does.
+func (fl *flowState) tainted(e ast.Expr) (flowFact, bool) {
+	e = ast.Unparen(e)
+	if e == nil {
+		return flowFact{}, false
+	}
+	if fl.cfg.fresh != nil && fl.cfg.fresh(e) {
+		return flowFact{}, false
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		if v := localVar(fl.info, x, fl.inFunc); v != nil {
+			fact, ok := fl.vars[v]
+			return fact, ok
+		}
+		// Non-local identifiers (package-level vars) are judged by type.
+		if fl.cfg.sourceType != nil {
+			if _, isVar := fl.info.Uses[x].(*types.Var); isVar {
+				if t := fl.info.TypeOf(x); t != nil {
+					if tag, ok := fl.cfg.sourceType(t); ok {
+						return flowFact{x.Pos(), tag}, true
+					}
+				}
+			}
+		}
+		return flowFact{}, false
+	case *ast.TypeAssertExpr:
+		return fl.tainted(x.X)
+	}
+	if fl.cfg.source != nil {
+		if tag, ok := fl.cfg.source(e); ok {
+			return flowFact{e.Pos(), tag}, true
+		}
+	}
+	if fl.cfg.sourceType != nil {
+		if t := fl.info.TypeOf(e); t != nil {
+			if tag, ok := fl.cfg.sourceType(t); ok {
+				return flowFact{e.Pos(), tag}, true
+			}
+		}
+	}
+	if fl.cfg.derive {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			if t := fl.info.TypeOf(e); t != nil && pointerShaped(t) {
+				return fl.tainted(x.X)
+			}
+		case *ast.IndexExpr:
+			if t := fl.info.TypeOf(e); t != nil && pointerShaped(t) {
+				return fl.tainted(x.X)
+			}
+		case *ast.SliceExpr:
+			return fl.tainted(x.X) // a subslice shares the backing array
+		case *ast.StarExpr:
+			if t := fl.info.TypeOf(e); t != nil && pointerShaped(t) {
+				return fl.tainted(x.X)
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				return fl.tainted(x.X)
+			}
+		case *ast.CallExpr:
+			return fl.taintedCall(x)
+		}
+	}
+	return flowFact{}, false
+}
+
+// taintedCall handles taint through calls under derive: the builtin
+// append carries its arguments' taint, and a method call on a tainted
+// receiver returning something pointer-shaped is a getter into the
+// tainted value (s.Tree(), b.Path()).
+func (fl *flowState) taintedCall(call *ast.CallExpr) (flowFact, bool) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+		if _, isBuiltin := fl.info.Uses[id].(*types.Builtin); isBuiltin {
+			for _, arg := range call.Args {
+				if fact, ok := fl.tainted(arg); ok {
+					return fact, true
+				}
+			}
+			return flowFact{}, false
+		}
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return flowFact{}, false
+	}
+	if s := fl.info.Selections[sel]; s == nil || s.Kind() != types.MethodVal {
+		return flowFact{}, false
+	}
+	if t := fl.info.TypeOf(call); t == nil || !pointerShaped(t) {
+		return flowFact{}, false
+	}
+	return fl.tainted(sel.X)
+}
+
+// pointerShaped reports whether a value of type t can still reach the
+// memory it was projected from: pointers, slices, maps, channels and
+// interfaces share state; plain structs, arrays and scalars copy.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Interface:
+		return true
+	}
+	return false
+}
+
+// methodCallOn resolves call as a method invocation and returns the
+// callee, its receiver's (pointer-stripped) named type, and the receiver
+// expression. ok=false for plain function calls, conversions, and calls
+// through function-typed variables.
+func methodCallOn(info *types.Info, call *ast.CallExpr) (fn *types.Func, recv *types.Named, recvExpr ast.Expr, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, nil, nil, false
+	}
+	fn = calleeFunc(info, call)
+	if fn == nil {
+		return nil, nil, nil, false
+	}
+	sig, isSig := fn.Type().(*types.Signature)
+	if !isSig || sig.Recv() == nil {
+		return nil, nil, nil, false
+	}
+	t := sig.Recv().Type()
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return nil, nil, nil, false
+	}
+	return fn, named, sel.X, true
+}
+
+// namedDeclaredIn reports whether named is the type `name` declared in a
+// package whose import path is pkg or ends in "/pkg" — the same
+// suffix-matching rule bddTypeName uses, so analyzers work identically
+// on the real module and on fixture packages importing it.
+func namedDeclaredIn(named *types.Named, pkg, name string) bool {
+	obj := named.Obj()
+	if obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	return pkgPathIs(obj.Pkg().Path(), pkg)
+}
+
+// pkgPathIs reports whether path is pkg or ends in "/pkg".
+func pkgPathIs(path, pkg string) bool {
+	if path == pkg {
+		return true
+	}
+	n := len(path) - len(pkg)
+	return n > 0 && path[n-1] == '/' && path[n:] == pkg
+}

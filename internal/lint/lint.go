@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"path/filepath"
 	"sort"
 	"strings"
 )
@@ -59,6 +60,10 @@ func All() []*Analyzer {
 		LockGuard,
 		DDMix,
 		ErrDrop,
+		EpochPin,
+		FrozenWrite,
+		PoolPair,
+		VecBound,
 	}
 }
 
@@ -86,7 +91,11 @@ func ByName(list string) ([]*Analyzer, error) {
 
 // Run executes the analyzers over the module and returns surviving
 // diagnostics sorted by position. Suppressed findings are dropped;
-// malformed ignore directives are reported as check "directive".
+// malformed ignore directives are reported as check "directive", and
+// directives that suppressed nothing any judging analyzer could have
+// produced are reported as check "staleignore" (these two passes run as
+// part of every invocation rather than as named analyzers, and their
+// findings are not themselves suppressible).
 func Run(m *Module, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	for _, a := range analyzers {
@@ -99,15 +108,16 @@ func Run(m *Module, analyzers []*Analyzer) []Diagnostic {
 			})
 		})
 	}
-	sup, bad := collectIgnores(m)
+	dirs, bad := collectIgnores(m)
 	diags = append(diags, bad...)
 	out := diags[:0]
 	for _, d := range diags {
-		if sup.matches(d) {
+		if dirs.suppress(d) {
 			continue
 		}
 		out = append(out, d)
 	}
+	out = append(out, staleDirectives(m, analyzers, dirs)...)
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos
 		if a.Filename != b.Filename {
@@ -124,21 +134,48 @@ func Run(m *Module, analyzers []*Analyzer) []Diagnostic {
 	return out
 }
 
+// shortPos renders a cross-referenced position as base.go:line:col so
+// messages (and the goldens that pin them) never embed machine-specific
+// checkout paths. The primary diagnostic position keeps its full path;
+// only in-message references use this.
+func shortPos(m *Module, pos token.Pos) string {
+	p := m.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d:%d", filepath.Base(p.Filename), p.Line, p.Column)
+}
+
 // ignoreKey identifies one suppressed (file, line).
 type ignoreKey struct {
 	file string
 	line int
 }
 
-type suppressions map[ignoreKey][]string // checks suppressed at that line
+// ignoreDirective is one parsed //lint:ignore comment. used records
+// whether it suppressed at least one raw diagnostic this run, which is
+// what the staleignore pass judges.
+type ignoreDirective struct {
+	pos   token.Position
+	check string
+	used  bool
+}
 
-func (s suppressions) matches(d Diagnostic) bool {
-	for _, check := range s[ignoreKey{d.Pos.Filename, d.Pos.Line}] {
-		if check == "all" || check == d.Check {
-			return true
+// directiveSet indexes directives by the lines they cover (their own and
+// the next) and keeps the full list for staleness judging.
+type directiveSet struct {
+	byLine map[ignoreKey][]*ignoreDirective
+	list   []*ignoreDirective
+}
+
+// suppress reports whether d is covered by a directive, marking every
+// matching directive as used.
+func (s *directiveSet) suppress(d Diagnostic) bool {
+	hit := false
+	for _, dir := range s.byLine[ignoreKey{d.Pos.Filename, d.Pos.Line}] {
+		if dir.check == "all" || dir.check == d.Check {
+			dir.used = true
+			hit = true
 		}
 	}
-	return false
+	return hit
 }
 
 const ignorePrefix = "lint:ignore"
@@ -146,8 +183,8 @@ const ignorePrefix = "lint:ignore"
 // collectIgnores scans every file's comments for lint:ignore directives.
 // Each directive covers its own line and the next line. Directives missing
 // a check name or a reason are returned as diagnostics.
-func collectIgnores(m *Module) (suppressions, []Diagnostic) {
-	sup := make(suppressions)
+func collectIgnores(m *Module) (*directiveSet, []Diagnostic) {
+	dirs := &directiveSet{byLine: make(map[ignoreKey][]*ignoreDirective)}
 	var bad []Diagnostic
 	for _, pkg := range m.Pkgs {
 		for _, f := range pkg.Files {
@@ -171,16 +208,17 @@ func collectIgnores(m *Module) (suppressions, []Diagnostic) {
 						})
 						continue
 					}
-					check := fields[0]
+					dir := &ignoreDirective{pos: pos, check: fields[0]}
+					dirs.list = append(dirs.list, dir)
 					for _, line := range []int{pos.Line, pos.Line + 1} {
 						k := ignoreKey{pos.Filename, line}
-						sup[k] = append(sup[k], check)
+						dirs.byLine[k] = append(dirs.byLine[k], dir)
 					}
 				}
 			}
 		}
 	}
-	return sup, bad
+	return dirs, bad
 }
 
 // pathString renders a chain of identifiers and field selections such as

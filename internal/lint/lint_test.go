@@ -90,6 +90,14 @@ var fixtureCases = []struct {
 	{DDMix, "ddmix/clean", false},
 	{ErrDrop, "errdrop/bad", true},
 	{ErrDrop, "errdrop/clean", false},
+	{EpochPin, "epochpin/bad", true},
+	{EpochPin, "epochpin/clean", false},
+	{FrozenWrite, "frozenwrite/bad", true},
+	{FrozenWrite, "frozenwrite/clean", false},
+	{PoolPair, "poolpair/bad", true},
+	{PoolPair, "poolpair/clean", false},
+	{VecBound, "vecbound/bad", true},
+	{VecBound, "vecbound/clean", false},
 }
 
 func TestAnalyzerFixtures(t *testing.T) {
@@ -122,6 +130,82 @@ func TestIgnoreDirective(t *testing.T) {
 	}
 	if !strings.Contains(joined, "ignore.go:24") {
 		t.Errorf("unsuppressed finding missing:\n%s", joined)
+	}
+}
+
+// TestStaleIgnore checks the directive hygiene pass: a used ignore stays
+// silent, an ignore over clean code and an ignore naming a nonexistent
+// check are reported, and a guard naming a missing mutex field is
+// reported alongside the lockguard violation it no longer excuses.
+func TestStaleIgnore(t *testing.T) {
+	got := runFixture(t, All(), "staleignore")
+	checkGolden(t, "staleignore", got)
+	joined := strings.Join(got, "\n")
+	if strings.Contains(joined, "/tmp/x") {
+		t.Errorf("finding suppressed by a live directive leaked:\n%s", joined)
+	}
+	for _, want := range []string{"staleignore.go:19", "errdorp", "mux"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("stale-directive report missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+// TestStaleIgnoreSubset checks that running a subset of analyzers never
+// flags directives belonging to checks that did not run: with only
+// lockguard selected, the two errdrop directives in the fixture (one
+// stale under the full suite) are not judged.
+func TestStaleIgnoreSubset(t *testing.T) {
+	got := runFixture(t, []*Analyzer{LockGuard}, "staleignore")
+	for _, line := range got {
+		if strings.Contains(line, "lint:ignore errdrop") {
+			t.Errorf("directive for an analyzer that did not run was judged: %s", line)
+		}
+	}
+}
+
+// TestMultilineDirective pins the suppression window against statements
+// that span lines: directives cover their own line and the next, whether
+// the call's finding position is under a leading or a trailing comment,
+// and a finding two lines below a directive survives.
+func TestMultilineDirective(t *testing.T) {
+	got := runFixture(t, []*Analyzer{ErrDrop}, "multiline")
+	checkGolden(t, "multiline", got)
+	joined := strings.Join(got, "\n")
+	if strings.Contains(joined, "Symlink") {
+		t.Errorf("multi-line statement suppression failed:\n%s", joined)
+	}
+	if !strings.Contains(joined, "os.Remove") {
+		t.Errorf("finding two lines below a directive should survive:\n%s", joined)
+	}
+}
+
+// TestGuardValueReceiver checks lockguard on methods with value
+// receivers: textual path matching and the *Locked convention behave
+// exactly as they do for pointer receivers.
+func TestGuardValueReceiver(t *testing.T) {
+	got := runFixture(t, []*Analyzer{LockGuard}, "guardvalue")
+	checkGolden(t, "guardvalue", got)
+	if len(got) != 1 || !strings.Contains(got[0], "peek") {
+		t.Errorf("want exactly the peek violation, got:\n  %s", strings.Join(got, "\n  "))
+	}
+}
+
+// TestSamePositionSuppression checks the interaction when two analyzers
+// report on one line: a directive naming one check leaves the other's
+// finding standing, and "all" covers both.
+func TestSamePositionSuppression(t *testing.T) {
+	got := runFixture(t, []*Analyzer{RetainRelease, ErrDrop}, "dupe")
+	checkGolden(t, "dupe", got)
+	joined := strings.Join(got, "\n")
+	if strings.Contains(joined, "errdrop") {
+		t.Errorf("named-check suppression failed on a shared line:\n%s", joined)
+	}
+	if !strings.Contains(joined, "dupe.go:15") {
+		t.Errorf("the co-located retainrelease finding must survive:\n%s", joined)
+	}
+	if strings.Contains(joined, "dupe.go:20") {
+		t.Errorf("an \"all\" directive must cover both checks:\n%s", joined)
 	}
 }
 

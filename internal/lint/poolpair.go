@@ -1,0 +1,271 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolPair generalizes retainrelease to sync.Pool: every Get on a pool
+// (the server's BatchBuffer pool being the motivating case) must be
+// paired, in the same block, with a Put on the same pool — deferred, so
+// error returns and panics still recycle the buffer, or directly with no
+// early exit able to skip it. An unpaired Get is not a memory-safety bug
+// (the GC reclaims the value), but it silently degrades the pool into an
+// allocator, which is exactly the regression the batch path's
+// steady-state zero-allocation budget forbids.
+//
+// Ownership transfer silences the check: when the fetched value escapes
+// the function — returned, stored into a field or container, sent on a
+// channel, captured by a go statement — the release duty moves with it,
+// beyond intraprocedural sight. Passing the value as a plain call
+// argument is borrowing, not transfer (callees fill buffers; pools would
+// be pointless otherwise), so it does not silence anything.
+var PoolPair = &Analyzer{
+	Name: "poolpair",
+	Doc:  "every sync.Pool Get must pair with a deferred or all-paths Put on the same pool",
+	Run:  runPoolPair,
+}
+
+func runPoolPair(m *Module, report Reporter) {
+	for _, pkg := range m.Pkgs {
+		funcBodies(pkg, func(fd *ast.FuncDecl) {
+			checkPoolPair(pkg, fd, report)
+		})
+	}
+}
+
+// syncPoolCall matches a call to sync.Pool.Get or .Put, returning the
+// textual receiver path ("s.bufs") for pairing, like syncLockCall.
+func syncPoolCall(info *types.Info, call *ast.CallExpr, name string) (string, bool) {
+	fn, recv, recvExpr, ok := methodCallOn(info, call)
+	if !ok || fn.Name() != name {
+		return "", false
+	}
+	obj := recv.Obj()
+	if obj.Name() != "Pool" || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", false
+	}
+	p := pathString(recvExpr)
+	if p == "" {
+		return "", false
+	}
+	return p, true
+}
+
+func checkPoolPair(pkg *Package, fd *ast.FuncDecl, report Reporter) {
+	info := pkg.Info
+	inFunc := func(v *types.Var) bool {
+		return v.Pos() >= fd.Pos() && v.Pos() <= fd.End()
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for i, stmt := range block.List {
+			call, v := poolGetStmt(info, stmt, inFunc)
+			if call == nil {
+				continue
+			}
+			path, _ := syncPoolCall(info, call, "Get")
+			if v != nil && poolValueEscapes(info, fd.Body, v, path, inFunc) {
+				continue // ownership transferred; release is the new owner's duty
+			}
+			checkPoolRegion(info, block.List[i+1:], call.Pos(), path, report)
+		}
+		return true
+	})
+}
+
+// poolGetStmt matches the statement forms a pool fetch takes — an
+// assignment whose (single) right-hand side is p.Get() or a type
+// assertion on it — returning the Get call and the variable bound to the
+// result, nil when the result is discarded.
+func poolGetStmt(info *types.Info, stmt ast.Stmt, inFunc func(*types.Var) bool) (*ast.CallExpr, *types.Var) {
+	var rhs ast.Expr
+	var lhs ast.Expr
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		if len(s.Rhs) != 1 {
+			return nil, nil
+		}
+		rhs = s.Rhs[0]
+		if len(s.Lhs) == 1 {
+			lhs = s.Lhs[0]
+		}
+	case *ast.ExprStmt:
+		rhs = s.X
+	default:
+		return nil, nil
+	}
+	e := ast.Unparen(rhs)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ast.Unparen(ta.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil, nil
+	}
+	if _, ok := syncPoolCall(info, call, "Get"); !ok {
+		return nil, nil
+	}
+	if lhs != nil {
+		return call, localVar(info, lhs, inFunc)
+	}
+	return call, nil
+}
+
+// poolValueEscapes reports whether the fetched value may outlive the
+// function or be retained by other state: returned, stored, sent,
+// address-taken, aliased, or handed to a goroutine. A use as the argument
+// of the matching Put, or as a plain (borrowing) call argument, is not an
+// escape.
+func poolValueEscapes(info *types.Info, body *ast.BlockStmt, v *types.Var, path string, inFunc func(*types.Var) bool) bool {
+	escaped := false
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if id, ok := n.(*ast.Ident); ok && !escaped {
+			if lv := localVar(info, id, inFunc); lv == v {
+				if poolEscapesAt(info, stack, id, v, path) {
+					escaped = true
+				}
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return escaped
+}
+
+func poolEscapesAt(info *types.Info, stack []ast.Node, id *ast.Ident, v *types.Var, path string) bool {
+	child := ast.Node(id)
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.ReturnStmt, *ast.SendStmt, *ast.CompositeLit:
+			return true
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				return true
+			}
+		case *ast.AssignStmt:
+			// The Get assignment itself binds the variable. Writing the
+			// value into one of its own fields or elements
+			// (buf.data = append(buf.data, ...)) is a use; any other
+			// appearance on a right-hand side aliases or stores it.
+			for j, rhs := range n.Rhs {
+				if !containsNode(rhs, child) {
+					continue
+				}
+				if j < len(n.Lhs) {
+					if base, wrote := peelWriteBase(n.Lhs[j]); wrote {
+						anyScope := func(*types.Var) bool { return true }
+						if lv := localVar(info, base, anyScope); lv == v {
+							continue
+						}
+					}
+				}
+				return true
+			}
+			return false
+		case *ast.CallExpr:
+			if containsNode(n.Fun, child) {
+				return false // receiver position: buf.Reset() is a use, not an escape
+			}
+			if p, ok := syncPoolCall(info, n, "Put"); ok && p == path {
+				return false // the matching release
+			}
+			// A plain call argument is a borrow; under go it outlives us.
+			if i > 0 {
+				if _, isGo := stack[i-1].(*ast.GoStmt); isGo {
+					return true
+				}
+			}
+			return false
+		case *ast.BlockStmt, *ast.ExprStmt, *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt,
+			*ast.SwitchStmt, *ast.CaseClause, *ast.TypeSwitchStmt:
+			return false
+		}
+		child = stack[i]
+	}
+	return false
+}
+
+// checkPoolRegion scans the statements after a Get for the matching Put,
+// reporting any path that can leave the block first. Mirrors locksafe's
+// checkLockedRegion.
+func checkPoolRegion(info *types.Info, rest []ast.Stmt, getPos token.Pos, path string, report Reporter) {
+	for _, stmt := range rest {
+		switch s := stmt.(type) {
+		case *ast.DeferStmt:
+			if deferReleasesPool(info, s, path) {
+				return // panics and every return now recycle the value
+			}
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if p, ok := syncPoolCall(info, call, "Put"); ok && p == path {
+					return
+				}
+			}
+		case *ast.ReturnStmt, *ast.BranchStmt:
+			report(getPos, "%s.Get() value is not recycled before the %s; call %s.Put or defer it", path, describeExit(stmt), path)
+			return
+		}
+		if escapes, pos := returnsWithoutPoolPut(info, stmt, path); escapes {
+			report(pos, "early exit skips %s.Put for the value fetched at the start of this block; defer the Put", path)
+			return
+		}
+	}
+	report(getPos, "%s.Get() has no matching %s.Put in this block; defer %s.Put immediately after the Get", path, path, path)
+}
+
+// deferReleasesPool reports whether the deferred call puts back into the
+// pool — directly (defer p.Put(buf)) or via a closure containing the Put.
+func deferReleasesPool(info *types.Info, s *ast.DeferStmt, path string) bool {
+	if p, ok := syncPoolCall(info, s.Call, "Put"); ok && p == path {
+		return true
+	}
+	lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if p, ok := syncPoolCall(info, call, "Put"); ok && p == path {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// returnsWithoutPoolPut reports whether stmt contains (outside nested
+// function literals) a return while containing no matching Put.
+func returnsWithoutPoolPut(info *types.Info, stmt ast.Stmt, path string) (bool, token.Pos) {
+	var retPos token.Pos
+	hasReturn := false
+	hasPut := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			if !hasReturn {
+				retPos = n.Pos()
+			}
+			hasReturn = true
+		case *ast.CallExpr:
+			if p, ok := syncPoolCall(info, n, "Put"); ok && p == path {
+				hasPut = true
+			}
+		}
+		return true
+	})
+	return hasReturn && !hasPut, retPos
+}

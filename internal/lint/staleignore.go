@@ -1,0 +1,125 @@
+package lint
+
+// staleignore is the directive hygiene pass, run from Run alongside the
+// malformed-directive check rather than as a named analyzer: it needs to
+// know which analyzers actually ran and which directives matched raw
+// diagnostics, facts no Analyzer.Run sees.
+//
+// An //lint:ignore directive is stale when the analyzer it names ran and
+// the directive still suppressed nothing — the code it excused has been
+// fixed or moved, and the directive now only masks future regressions at
+// that line. Directives are only judged when their named check was among
+// the analyzers run ("all" requires the full suite), so running a subset
+// (`aplint -checks errdrop`) never misfires on directives for the other
+// checks. A directive naming a check that does not exist at all is
+// always reported: it can never suppress anything.
+//
+// //lint:guard directives are judged structurally when lockguard runs: a
+// guard must name a sibling field of the struct (the mutex protecting
+// the annotated field); naming a removed or renamed field means the
+// guard silently stopped guarding.
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// staleDirectives judges every collected directive after suppression
+// matching and returns the staleignore diagnostics.
+func staleDirectives(m *Module, analyzers []*Analyzer, dirs *directiveSet) []Diagnostic {
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	fullSuite := true
+	known := map[string]bool{"all": true, "directive": true, "staleignore": true}
+	for _, a := range All() {
+		known[a.Name] = true
+		if !ran[a.Name] {
+			fullSuite = false
+		}
+	}
+
+	var out []Diagnostic
+	for _, dir := range dirs.list {
+		if dir.used {
+			continue
+		}
+		switch {
+		case !known[dir.check]:
+			out = append(out, Diagnostic{
+				Pos:     dir.pos,
+				Check:   "staleignore",
+				Message: "//lint:ignore names unknown check \"" + dir.check + "\"; it can never suppress anything",
+			})
+		case dir.check == "all" && fullSuite, ran[dir.check]:
+			out = append(out, Diagnostic{
+				Pos:     dir.pos,
+				Check:   "staleignore",
+				Message: "//lint:ignore " + dir.check + " suppresses nothing; delete the stale directive",
+			})
+		}
+	}
+	if ran[LockGuard.Name] {
+		out = append(out, staleGuards(m)...)
+	}
+	return out
+}
+
+// staleGuards reports //lint:guard directives whose named mutex is not a
+// sibling field of the annotated field's struct.
+func staleGuards(m *Module) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				st, ok := n.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				siblings := make(map[string]bool)
+				for _, field := range st.Fields.List {
+					for _, name := range field.Names {
+						siblings[name.Name] = true
+					}
+				}
+				for _, field := range st.Fields.List {
+					for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+						g, pos, ok := guardDirective(cg)
+						if ok && !siblings[g] {
+							out = append(out, Diagnostic{
+								Pos:     m.Fset.Position(pos),
+								Check:   "staleignore",
+								Message: "//lint:guard " + g + " names no field of this struct; the guard no longer guards anything",
+							})
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// guardDirective parses a //lint:guard comment like lockguard's
+// guardName, but returns the directive position and stays silent on
+// malformed directives (lockguard already reports those).
+func guardDirective(cg *ast.CommentGroup) (string, token.Pos, bool) {
+	if cg == nil {
+		return "", token.NoPos, false
+	}
+	for _, c := range cg.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if !strings.HasPrefix(text, guardPrefix) {
+			continue
+		}
+		fields := strings.Fields(strings.TrimPrefix(text, guardPrefix))
+		if len(fields) == 0 {
+			return "", token.NoPos, false
+		}
+		return fields[0], c.Pos(), true
+	}
+	return "", token.NoPos, false
+}

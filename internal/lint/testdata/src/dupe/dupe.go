@@ -1,0 +1,21 @@
+// Package dupe pins suppression interaction when two analyzers report on
+// the same line: a directive naming one check must not swallow the
+// other's finding, while "all" covers both. (The statements share a line
+// via a semicolon precisely to force the position collision.)
+package dupe
+
+import (
+	"os"
+
+	"apclassifier/internal/bdd"
+)
+
+func oneSuppressed(d *bdd.DD, r bdd.Ref) {
+	//lint:ignore errdrop the retainrelease finding on this line must survive
+	d.Retain(r); os.Remove("/tmp/d")
+}
+
+func bothSuppressed(d *bdd.DD, r bdd.Ref) {
+	//lint:ignore all one directive may excuse both checks at this position
+	d.Retain(r); os.Remove("/tmp/e")
+}

@@ -1,0 +1,41 @@
+// Package bad seeds epochpin violations: a double pin in one walk, a
+// live Manager read after pinning, a double raw atomic load, and a
+// closure that captures a pinned snapshot yet pins its own epoch.
+package bad
+
+import (
+	"sync/atomic"
+
+	"apclassifier/internal/aptree"
+	"apclassifier/internal/header"
+)
+
+type holder struct {
+	snap atomic.Pointer[aptree.Snapshot]
+}
+
+func doublePin(m *aptree.Manager) (uint64, uint64) {
+	a := m.Snapshot()
+	b := m.Snapshot() // second epoch mid-walk
+	return a.Version(), b.Version()
+}
+
+func liveAfterPin(m *aptree.Manager, pkt header.Packet) int {
+	s := m.Snapshot()
+	leaf, _ := s.Classify(pkt)
+	_ = leaf
+	return m.NumLive() // answers from the live epoch, not the pinned one
+}
+
+func (h *holder) atomicDoubleLoad() bool {
+	a := h.snap.Load()
+	b := h.snap.Load() // second raw load straddles a concurrent swap
+	return a == b
+}
+
+func capturedMix(m *aptree.Manager) func() bool {
+	s := m.Snapshot()
+	return func() bool {
+		return m.Snapshot() == s // closure re-pins while holding s
+	}
+}

@@ -1,0 +1,33 @@
+// Package clean holds epoch-correct patterns epochpin must accept: one
+// pin answering the whole walk, sibling closures each pinning their own
+// epoch per call (the RegisterMetrics pattern), live reads with no pin
+// in scope, and a closure that only reads its captured snapshot.
+package clean
+
+import (
+	"apclassifier/internal/aptree"
+	"apclassifier/internal/header"
+)
+
+func pinnedWalk(m *aptree.Manager, pkt header.Packet) (int, uint64) {
+	s := m.Snapshot()
+	leaf, ver := s.Classify(pkt)
+	_ = leaf
+	return s.NumLive(), ver
+}
+
+func independentClosures(m *aptree.Manager) []func() int {
+	return []func() int{
+		func() int { return m.Snapshot().NumLive() },
+		func() int { return m.Snapshot().Tree().NumLeaves() },
+	}
+}
+
+func liveOnly(m *aptree.Manager) (uint64, int) {
+	return m.Version(), m.NumLive()
+}
+
+func capturedReadOnly(m *aptree.Manager) func() uint64 {
+	s := m.Snapshot()
+	return func() uint64 { return s.Version() }
+}

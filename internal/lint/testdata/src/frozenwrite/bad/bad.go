@@ -1,0 +1,28 @@
+// Package bad seeds frozenwrite violations: field writes on a cached
+// behavior (directly, through an alias, and via increment), a write
+// through a chain of pointer-shaped projections derived from a snapshot,
+// and a mutating-method call on state reachable from a snapshot.
+package bad
+
+import (
+	"apclassifier/internal/aptree"
+	"apclassifier/internal/network"
+)
+
+func mutateCached(b *network.Behavior) {
+	b.Edges = nil // field write on a frozen value
+	b.Rewrites++  // increment is a write too
+}
+
+func mutateAlias(b *network.Behavior) {
+	alias := b
+	alias.Ingress = 0 // the alias still points at the frozen value
+}
+
+func mutateDerived(s *aptree.Snapshot) {
+	s.Tree().Root().AtomID = 7 // derived pointer chain reaches the snapshot
+}
+
+func mutateViaMethod(s *aptree.Snapshot) {
+	s.Tree().Root().Member.Set(0, true) // Set* on snapshot-reachable state
+}

@@ -1,0 +1,36 @@
+// Package clean holds mutation patterns frozenwrite must accept: Clone
+// is the sanctioned escape hatch, freshly constructed values are the
+// caller's to mutate, copying an element out of a frozen slice breaks
+// the alias, and reads of any depth are always fine.
+package clean
+
+import (
+	"apclassifier/internal/aptree"
+	"apclassifier/internal/network"
+)
+
+func cloneThenMutate(b *network.Behavior) *network.Behavior {
+	c := b.Clone()
+	c.Rewrites++
+	c.Edges = append(c.Edges, network.Edge{})
+	return c
+}
+
+func copyElementWrite(b *network.Behavior) int {
+	if len(b.Edges) == 0 {
+		return 0
+	}
+	e := b.Edges[0] // value copy: mutating it cannot reach the cache
+	e.Box = 99
+	return e.Box
+}
+
+func freshConstruction(ingress int) *network.Behavior {
+	nb := &network.Behavior{}
+	nb.Ingress = ingress
+	return nb
+}
+
+func readOnly(s *aptree.Snapshot) (int, bool) {
+	return s.Tree().NumLeaves(), s.Tree().Root().Member.Get(0)
+}

@@ -1,0 +1,29 @@
+// Package guardvalue checks lockguard on methods with value receivers:
+// the receiver path still matches textually, so a value-receiver method
+// that locks the guard passes, the *Locked naming convention still
+// applies, and one that does neither is reported. The struct holds the
+// mutex by pointer so a value receiver genuinely shares lock state
+// (copying an embedded mutex would be locksafe's complaint, not ours).
+package guardvalue
+
+import "sync"
+
+type box struct {
+	mu *sync.Mutex
+	//lint:guard mu
+	n int
+}
+
+func (b box) get() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+func (b box) sizeLocked() int {
+	return b.n
+}
+
+func (b box) peek() int {
+	return b.n // no guard, no *Locked suffix: reported
+}

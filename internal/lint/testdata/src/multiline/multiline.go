@@ -1,0 +1,28 @@
+// Package multiline pins the directive coverage window against
+// multi-line statements: a directive covers its own line and the next,
+// so a finding on a call whose statement opens on the covered line is
+// suppressed even when the call spans further lines, while a finding two
+// lines below a directive survives (and that directive, suppressing
+// nothing, is itself reported stale).
+package multiline
+
+import "os"
+
+func spanningSuppressed() {
+	//lint:ignore errdrop the call begins on the covered line
+	os.Symlink(
+		"/tmp/src",
+		"/tmp/dst")
+}
+
+func trailingOnOpeningLine() {
+	os.Symlink( //lint:ignore errdrop trailing directive on the opening line
+		"/tmp/src",
+		"/tmp/dst")
+}
+
+func windowEndsAfterOneLine() {
+	//lint:ignore errdrop covers only the next line, not the one after
+	_ = os.Getenv("HOME")
+	os.Remove("/tmp/z") // two lines below the directive: reported
+}

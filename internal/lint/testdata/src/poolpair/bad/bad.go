@@ -1,0 +1,33 @@
+// Package bad seeds poolpair violations: a Get with no Put at all, an
+// error path that returns before the Put, and a Get whose result is
+// discarded outright.
+package bad
+
+import (
+	"errors"
+	"sync"
+)
+
+type buffer struct{ data []byte }
+
+type srv struct {
+	bufs sync.Pool
+}
+
+func (s *srv) missingPut() int {
+	buf := s.bufs.Get().(*buffer)
+	return len(buf.data) // the buffer silently falls back to the GC
+}
+
+func (s *srv) earlyReturn(fail bool) error {
+	buf := s.bufs.Get().(*buffer)
+	if fail {
+		return errors.New("bail") // skips the Put below
+	}
+	s.bufs.Put(buf)
+	return nil
+}
+
+func (s *srv) discardedGet() {
+	s.bufs.Get() // fetched and dropped on the floor
+}

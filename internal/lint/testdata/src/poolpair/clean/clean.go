@@ -1,0 +1,39 @@
+// Package clean holds pooling patterns poolpair must accept: the
+// canonical deferred Put (covers error returns and panics), a deferred
+// closure containing the Put, straight-line Get/Put with the buffer
+// filled in between, and ownership transfer to the caller.
+package clean
+
+import "sync"
+
+type buffer struct{ data []byte }
+
+type srv struct {
+	bufs sync.Pool
+}
+
+func (s *srv) deferredPut() int {
+	buf := s.bufs.Get().(*buffer)
+	defer s.bufs.Put(buf)
+	return len(buf.data)
+}
+
+func (s *srv) closurePut() {
+	buf := s.bufs.Get().(*buffer)
+	defer func() {
+		buf.data = buf.data[:0]
+		s.bufs.Put(buf)
+	}()
+	buf.data = append(buf.data, 1)
+}
+
+func (s *srv) directPut(n int) {
+	buf := s.bufs.Get().(*buffer)
+	buf.data = append(buf.data[:0], byte(n))
+	s.bufs.Put(buf)
+}
+
+func (s *srv) handoff() *buffer {
+	buf := s.bufs.Get().(*buffer)
+	return buf // ownership transfers; the caller owes the Put
+}

@@ -1,0 +1,25 @@
+// Package bad seeds vecbound violations: labels taken straight from a
+// parameter, computed with Sprintf, and flowed through a local tainted
+// by unbounded input.
+package bad
+
+import (
+	"fmt"
+
+	"apclassifier/internal/obs"
+)
+
+var vec = obs.Default.CounterVec("fixture_ops_total", "Ops by kind.", "kind")
+
+func dynamicLabel(kind string) {
+	vec.With(kind).Inc() // one child counter per distinct caller string
+}
+
+func computedLabel(id int) {
+	vec.With(fmt.Sprintf("id-%d", id)).Inc() // unbounded interpolation
+}
+
+func taintedVar(kind string) {
+	k := "prefix-" + kind // bounded prefix, unbounded suffix
+	vec.With(k).Inc()
+}

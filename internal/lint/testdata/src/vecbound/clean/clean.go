@@ -1,0 +1,38 @@
+// Package clean holds label patterns vecbound must accept: constants and
+// conversions or concatenations of constants, a local whose every
+// assignment is drawn from the fixed set, and pre-resolving children by
+// ranging over an all-constant literal (the dropCounters pattern).
+package clean
+
+import "apclassifier/internal/obs"
+
+var vec = obs.Default.CounterVec("fixture_ops_total", "Ops by kind.", "kind")
+
+type opKind string
+
+const (
+	kindRead        = "read"
+	opWrite  opKind = "write"
+)
+
+func constLabels() {
+	vec.With(kindRead).Inc()
+	vec.With(string(opWrite)).Inc()
+	vec.With("slow-" + kindRead).Inc()
+}
+
+func boundedLocal(hit bool) {
+	k := "hit"
+	if !hit {
+		k = "miss"
+	}
+	vec.With(k).Inc()
+}
+
+var children = func() map[string]*obs.Counter {
+	out := make(map[string]*obs.Counter)
+	for _, k := range []string{"a", "b", "c"} {
+		out[k] = vec.With(k)
+	}
+	return out
+}()

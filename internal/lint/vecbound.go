@@ -1,0 +1,254 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// VecBound caps metric cardinality statically: every label handed to an
+// obs label-vec (CounterVec.With and future vec types) must be a
+// constant or a value provably drawn from a fixed set. A label computed
+// from a packet, an error string, or a request parameter mints a child
+// counter per distinct value — an unbounded-memory time bomb that only
+// detonates in production.
+//
+// "Provably bounded" is a whole-package fixed point over string values:
+// constants are bounded; conversions and concatenations of bounded
+// values are bounded; a variable is bounded when every assignment to it
+// anywhere in the package is bounded; ranging over an all-constant
+// composite literal (or over the keys of an all-constant-keyed map
+// literal) binds a bounded variable. Parameters, receivers and anything
+// assigned a non-bounded expression are unbounded. The fix for a
+// genuinely dynamic label is to pre-resolve a fixed child set (as
+// network's drop counters do) and route the remainder to one catch-all
+// label.
+var VecBound = &Analyzer{
+	Name: "vecbound",
+	Doc:  "obs label-vec calls take constants or values from a provably fixed set",
+	Run:  runVecBound,
+}
+
+func runVecBound(m *Module, report Reporter) {
+	for _, pkg := range m.Pkgs {
+		info := pkg.Info
+		bounded := boundedStringVars(pkg)
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if !obsVecWith(info, call) {
+					return true
+				}
+				arg := call.Args[0]
+				if !boundedExpr(info, arg, bounded) {
+					report(arg.Pos(), "label passed to With is not a constant or provably bounded value; unbounded labels mint a child counter per value — pre-resolve a fixed set")
+				}
+				return true
+			})
+		}
+	}
+}
+
+// obsVecWith matches a single-argument With call on any named type
+// declared in the obs package (CounterVec today).
+func obsVecWith(info *types.Info, call *ast.CallExpr) bool {
+	fn, recv, _, ok := methodCallOn(info, call)
+	if !ok || fn.Name() != "With" || len(call.Args) != 1 {
+		return false
+	}
+	obj := recv.Obj()
+	return obj.Pkg() != nil && pkgPathIs(obj.Pkg().Path(), "obs")
+}
+
+// varBoundedness is the fixed-point lattice: unknown < bounded < tainted.
+const (
+	vbUnknown = iota
+	vbBounded
+	vbTainted
+)
+
+// boundedStringVars computes, package-wide, which variables are only
+// ever assigned provably bounded values. Parameters and receivers start
+// tainted (their values arrive from outside the package's proof).
+func boundedStringVars(pkg *Package) map[*types.Var]int {
+	info := pkg.Info
+	status := make(map[*types.Var]int)
+	anyVar := func(v *types.Var) bool { return true }
+
+	mark := func(e ast.Expr, lvl int) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		v := localVar(info, id, anyVar)
+		if v == nil {
+			return
+		}
+		if lvl > status[v] {
+			status[v] = lvl
+		}
+	}
+	taintParams := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if v, ok := info.Defs[name].(*types.Var); ok {
+					status[v] = vbTainted
+				}
+			}
+		}
+	}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				taintParams(fd.Recv)
+				taintParams(fd.Type.Params)
+				taintParams(fd.Type.Results)
+			}
+		}
+	}
+
+	judge := func(e ast.Expr) int {
+		if boundedExpr(info, e, status) {
+			return vbBounded
+		}
+		return vbTainted
+	}
+	for changed := true; changed; {
+		before := snapshotStatus(status)
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					if len(n.Lhs) == len(n.Rhs) {
+						for i := range n.Lhs {
+							mark(n.Lhs[i], judge(n.Rhs[i]))
+						}
+					} else {
+						for _, lhs := range n.Lhs {
+							mark(lhs, vbTainted) // tuple results are unproven
+						}
+					}
+				case *ast.ValueSpec:
+					for i, name := range n.Names {
+						if i < len(n.Values) {
+							mark(name, judge(n.Values[i]))
+						}
+					}
+				case *ast.RangeStmt:
+					key, value := rangeBoundedness(info, n.X, status)
+					if n.Key != nil {
+						mark(n.Key, key)
+					}
+					if n.Value != nil {
+						mark(n.Value, value)
+					}
+				}
+				return true
+			})
+		}
+		changed = !sameStatus(before, status)
+	}
+	return status
+}
+
+func snapshotStatus(m map[*types.Var]int) map[*types.Var]int {
+	out := make(map[*types.Var]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func sameStatus(a, b map[*types.Var]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// rangeBoundedness judges the key and value variables of `range x`:
+// ranging an all-constant composite literal (or a bounded variable)
+// binds bounded values; an all-constant-keyed map literal binds bounded
+// keys.
+func rangeBoundedness(info *types.Info, x ast.Expr, status map[*types.Var]int) (key, value int) {
+	key, value = vbTainted, vbTainted
+	e := ast.Unparen(x)
+	if id, ok := e.(*ast.Ident); ok {
+		if v := localVar(info, id, func(*types.Var) bool { return true }); v != nil && status[v] == vbBounded {
+			return vbTainted, vbBounded // elements of a bounded container
+		}
+		return
+	}
+	lit, ok := e.(*ast.CompositeLit)
+	if !ok {
+		return
+	}
+	keysConst, valsConst := true, true
+	for _, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if !isConstExpr(info, kv.Key) {
+				keysConst = false
+			}
+			if !isConstExpr(info, kv.Value) {
+				valsConst = false
+			}
+		} else {
+			keysConst = false
+			if !isConstExpr(info, elt) {
+				valsConst = false
+			}
+		}
+	}
+	if keysConst {
+		key = vbBounded
+	}
+	if valsConst {
+		value = vbBounded
+	}
+	return
+}
+
+// boundedExpr reports whether e provably evaluates to one of a fixed set
+// of values.
+func boundedExpr(info *types.Info, e ast.Expr, status map[*types.Var]int) bool {
+	e = ast.Unparen(e)
+	if isConstExpr(info, e) {
+		return true
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		v := localVar(info, x, func(*types.Var) bool { return true })
+		return v != nil && status[v] == vbBounded
+	case *ast.CallExpr:
+		// A conversion of a bounded value (string(r)) stays bounded.
+		if tv, ok := info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+			return boundedExpr(info, x.Args[0], status)
+		}
+	case *ast.BinaryExpr:
+		// Concatenating two fixed sets yields a fixed set.
+		return boundedExpr(info, x.X, status) && boundedExpr(info, x.Y, status)
+	case *ast.CompositeLit:
+		// Not a label itself, but lets bounded containers seed ranges.
+		for _, elt := range x.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				if !isConstExpr(info, kv.Value) {
+					return false
+				}
+			} else if !isConstExpr(info, elt) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

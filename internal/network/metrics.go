@@ -39,14 +39,21 @@ var (
 		DropHopBudget: mDropVec.With(string(DropHopBudget)),
 		DropMiddlebox: mDropVec.With(string(DropMiddlebox)),
 	}
+
+	// dropOther absorbs reasons not known at init. Labeling the child
+	// with the raw reason would mint one counter per distinct string —
+	// unbounded cardinality if a reason ever carries dynamic content —
+	// so the catch-all keeps the label set fixed (and the flush
+	// mutex-free even on this path).
+	dropOther = mDropVec.With("other")
 )
 
-// countDrop bumps the per-reason drop counter, falling back to the
-// (mutex-guarded) vec for reasons not known at init.
+// countDrop bumps the per-reason drop counter; reasons not known at init
+// share the "other" child.
 func countDrop(r DropReason) {
 	if c, ok := dropCounters[r]; ok {
 		c.Inc()
 		return
 	}
-	mDropVec.With(string(r)).Inc()
+	dropOther.Inc()
 }
