@@ -26,6 +26,11 @@ BENCH_SMOKE := ^(BenchmarkManagerClassify|BenchmarkParallelClassify|BenchmarkPar
 # -benchtime for the same non-regression purpose.
 BENCH_SMOKE_ROOT := ^BenchmarkBehaviorBatch$$
 
+# bench-churn's -dur (the churn experiment budgets 5×dur per engine):
+# long enough that the delta engine's advantage over reconvert+rebuild is
+# unambiguous at small scale, short enough for CI.
+CHURN_DUR := 60ms
+
 # Coverage floor for the observability layer: metrics and traces are what
 # operators debug incidents with, so internal/obs stays near-fully tested.
 COVER_PKG   := ./internal/obs
@@ -40,7 +45,7 @@ SMOKE_DIR := /tmp/apc-checkpoint-smoke
 # are for dedicated fuzzing sessions.
 FUZZ_TIME ?= 5s
 
-.PHONY: build test vet lint race apdebug bench-smoke cover checkpoint-smoke fuzz-smoke check
+.PHONY: build test vet lint race apdebug bench-smoke bench-churn cover checkpoint-smoke fuzz-smoke check
 
 build:
 	$(GO) build ./...
@@ -65,6 +70,13 @@ apdebug:
 bench-smoke:
 	$(GO) test -run '^$$' -bench '$(BENCH_SMOKE)' -benchtime 200x -cpu 1,4 ./internal/aptree
 	$(GO) test -run '^$$' -bench '$(BENCH_SMOKE_ROOT)' -benchtime 512x .
+
+# Churn smoke: the incremental delta engine's updates/sec-under-query-load
+# experiment at small scale. Like bench-smoke it is a non-regression gate
+# (the delta engine must run and keep beating reconvert+rebuild — the
+# table's speedup column); recorded numbers live in EXPERIMENTS.md.
+bench-churn:
+	$(GO) run ./cmd/apbench -scale small -run churn -dur $(CHURN_DUR)
 
 # Save → restore → verify through the real binaries: apstate writes a
 # checkpoint for every generator, then fully decodes and self-checks it.
@@ -92,5 +104,5 @@ cover:
 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit !(t+0 >= f+0) }' || \
 		{ echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
 
-check: build vet test lint race apdebug bench-smoke checkpoint-smoke fuzz-smoke cover
+check: build vet test lint race apdebug bench-smoke bench-churn checkpoint-smoke fuzz-smoke cover
 	@echo "all gates passed"

@@ -92,6 +92,11 @@ type Classifier struct {
 	// retired epoch find a mismatch and simply walk uncached, so the
 	// pointer never needs explicit invalidation.
 	bcache atomic.Pointer[network.BehaviorCache]
+
+	// deltaSeq is the sequence number of the last applied sequenced
+	// rule-delta batch (ApplyRuleDeltasSeq); checkpoints record it so a
+	// restored classifier resumes the firehose idempotently.
+	deltaSeq atomic.Uint64
 }
 
 // New compiles a dataset: converts every forwarding table and ACL to
@@ -359,22 +364,35 @@ func (c *Classifier) MemBytes() int {
 func (c *Classifier) Reconstruct(weighted bool) { c.Manager.Reconstruct(weighted) }
 
 // AddFwdRule installs a forwarding rule on a box and updates the AP Tree
-// in real time. LPM shadowing means one rule change can alter several port
-// predicates; every changed port predicate is re-registered (old ID
-// tombstoned, new ID added), which is the rule-update-to-predicate-change
-// conversion of §VI-A.
+// in real time through the delta pipeline: the table mutation reports its
+// LPM cone, only the port predicates whose covering set changed are
+// recomputed (and only inside the cone region), and each swap runs the
+// atom split/merge path — the rule-update-to-predicate-change conversion
+// of §VI-A made incremental end to end. See ApplyRuleDeltas for batches.
 func (c *Classifier) AddFwdRule(box int, r rule.FwdRule) {
-	c.Dataset.Boxes[box].Fwd.Add(r)
-	c.reconvertBox(box)
+	if err := c.ApplyRuleDeltas([]RuleDelta{{Op: OpAddFwdRule, Box: box, Rule: r}}); err != nil {
+		panic(err)
+	}
 }
 
 // RemoveFwdRule removes a forwarding rule (by exact prefix) from a box and
-// updates the AP Tree in real time.
+// updates the AP Tree in real time via the delta pipeline; the atoms the
+// rule's predicates refined are merged back immediately rather than
+// tombstoned until the next Reconstruct.
 func (c *Classifier) RemoveFwdRule(box int, p rule.Prefix) bool {
-	if !c.Dataset.Boxes[box].Fwd.Remove(p) {
+	removed := false
+	for _, r := range c.Dataset.Boxes[box].Fwd.Rules {
+		if r.Prefix == p {
+			removed = true
+			break
+		}
+	}
+	if !removed {
 		return false
 	}
-	c.reconvertBox(box)
+	if err := c.ApplyRuleDeltas([]RuleDelta{{Op: OpRemoveFwdRule, Box: box, Prefix: p}}); err != nil {
+		panic(err)
+	}
 	return true
 }
 
@@ -383,43 +401,25 @@ func (c *Classifier) RemoveFwdRule(box int, p rule.Prefix) bool {
 // Like the rule-level updates, callers must externally synchronize with
 // Behavior.
 func (c *Classifier) SetPortACL(box, port int, acl *rule.ACL) {
-	if acl == nil {
-		delete(c.Dataset.Boxes[box].PortACL, port)
-	} else {
-		c.Dataset.Boxes[box].PortACL[port] = acl
+	if err := c.ApplyRuleDeltas([]RuleDelta{{Op: OpSetPortACL, Box: box, Port: port, ACL: acl}}); err != nil {
+		panic(err)
 	}
-	c.Manager.Update(func(tx *aptree.Tx) {
-		if old := c.Net.Boxes[box].Ports[port].OutACL; old != network.NoPred {
-			tx.Delete(old)
-		}
-		id := network.NoPred
-		if acl != nil {
-			id = tx.Add(predicate.ACLPredicate(tx.DD(), c.Layout, acl))
-		}
-		c.Net.Boxes[box].Ports[port].OutACL = id
-	})
 }
 
 // SetInACL installs, replaces, or (with nil) removes a box's ingress ACL.
 func (c *Classifier) SetInACL(box int, acl *rule.ACL) {
-	c.Dataset.Boxes[box].InACL = acl
-	c.Manager.Update(func(tx *aptree.Tx) {
-		if old := c.Net.Boxes[box].InACL; old != network.NoPred {
-			tx.Delete(old)
-		}
-		id := network.NoPred
-		if acl != nil {
-			id = tx.Add(predicate.ACLPredicate(tx.DD(), c.Layout, acl))
-		}
-		c.Net.Boxes[box].InACL = id
-	})
+	if err := c.ApplyRuleDeltas([]RuleDelta{{Op: OpSetInACL, Box: box, ACL: acl}}); err != nil {
+		panic(err)
+	}
 }
 
-// reconvertBox recomputes a box's port predicates and swaps the changed
-// ones in the registry, tree, and topology, atomically under one update
-// transaction. Callers of AddFwdRule/RemoveFwdRule must externally
-// synchronize with Behavior: topology predicate IDs are plain fields.
-func (c *Classifier) reconvertBox(box int) {
+// ReconvertBox recomputes every port predicate of a box from scratch and
+// swaps the changed ones, tombstoning replaced IDs until the next
+// Reconstruct. This is the pre-delta update path, kept as the baseline the
+// churn benchmark (and EXPERIMENTS.md) compares the delta pipeline
+// against; production callers should use ApplyRuleDeltas or the rule-level
+// mutators, which touch only the cone a change actually affects.
+func (c *Classifier) ReconvertBox(box int) {
 	spec := &c.Dataset.Boxes[box]
 	c.Manager.Update(func(tx *aptree.Tx) {
 		preds := predicate.PortPredicates(tx.DD(), c.Layout, "dstIP", &spec.Fwd, spec.NumPorts)

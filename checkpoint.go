@@ -36,10 +36,11 @@ func (c *Classifier) CheckpointSource() *checkpoint.Source {
 		wiring[b] = w
 	}
 	return &checkpoint.Source{
-		Snap:    c.Manager.Snapshot(),
-		Dataset: c.Dataset,
-		Method:  c.Manager.Method(),
-		Wiring:  wiring,
+		Snap:     c.Manager.Snapshot(),
+		Dataset:  c.Dataset,
+		Method:   c.Manager.Method(),
+		Wiring:   wiring,
+		DeltaSeq: c.deltaSeq.Load(),
 	}
 }
 
@@ -82,6 +83,9 @@ func NewFromRestored(res *checkpoint.Restored) (*Classifier, error) {
 		c.Net.AttachHost(h.Box, h.Port, h.Name)
 	}
 	c.env = &network.Env{Source: c.Manager}
+	// Resume the firehose cursor: sequenced /rules/batch deliveries the
+	// checkpointed classifier already applied stay acknowledged-only.
+	c.deltaSeq.Store(res.DeltaSeq)
 	return c, nil
 }
 

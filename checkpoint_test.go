@@ -138,3 +138,46 @@ func TestCheckpointRestoreMatchesLive(t *testing.T) {
 		})
 	}
 }
+
+// TestCheckpointResumesDeltaSeq is the firehose-idempotency satellite: the
+// rule-delta sequence cursor rides in the checkpoint META, so a restored
+// classifier keeps acknowledging (without re-applying) sequenced batches
+// that were delivered before the save.
+func TestCheckpointResumesDeltaSeq(t *testing.T) {
+	ds := diffDatasets()["internet2"]
+	c, err := New(ds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	add := []RuleDelta{{Op: OpAddFwdRule, Box: 0, Rule: rule.FwdRule{Prefix: rule.P(0xF0000000, 8), Port: 0}}}
+	if applied, err := c.ApplyRuleDeltasSeq(9, add); err != nil || !applied {
+		t.Fatalf("seq 9: applied=%v err=%v", applied, err)
+	}
+
+	dir, err := checkpoint.Open(t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dir.Save(c.CheckpointSource()); err != nil {
+		t.Fatal(err)
+	}
+	rc, err := RestoreDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.DeltaSeq() != 9 {
+		t.Fatalf("restored cursor %d, want 9", rc.DeltaSeq())
+	}
+	// Redelivery of an already-applied batch must be acknowledged only.
+	if applied, err := rc.ApplyRuleDeltasSeq(9, add); err != nil || applied {
+		t.Fatalf("replayed seq 9: applied=%v err=%v", applied, err)
+	}
+	// The next sequence number applies and advances the cursor.
+	rm := []RuleDelta{{Op: OpRemoveFwdRule, Box: 0, Prefix: rule.P(0xF0000000, 8)}}
+	if applied, err := rc.ApplyRuleDeltasSeq(10, rm); err != nil || !applied {
+		t.Fatalf("seq 10: applied=%v err=%v", applied, err)
+	}
+	if rc.DeltaSeq() != 10 {
+		t.Fatalf("cursor %d after seq 10, want 10", rc.DeltaSeq())
+	}
+}

@@ -1,0 +1,285 @@
+package aptree
+
+import (
+	"math/rand"
+	"testing"
+
+	"apclassifier/internal/bdd"
+	"apclassifier/internal/predicate"
+)
+
+// freshRefinement builds a tree from scratch over the given live predicate
+// set and returns its leaf count — the size of the full refinement.
+func freshRefinement(d *bdd.DD, preds []bdd.Ref, live []int32) int {
+	liveRefs := make([]bdd.Ref, 0, len(live))
+	ids := make([]int, 0, len(live))
+	for _, id := range live {
+		liveRefs = append(liveRefs, preds[id])
+		ids = append(ids, int(id))
+	}
+	atoms := predicate.ComputeMapped(d, liveRefs, ids, len(preds))
+	return atoms.N()
+}
+
+func TestRemovePredicateMergesToFullRefinement(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	d := bdd.New(16)
+	preds := randomPrefixPreds(d, 12, 16, rng)
+	in := buildInput(d, preds, rng)
+	tree := Build(in, MethodOAPT)
+
+	live := append([]int32(nil), in.Live...)
+	for len(live) > 0 {
+		k := rng.Intn(len(live))
+		victim := live[k]
+		live = append(live[:k], live[k+1:]...)
+		tree = tree.RemovePredicate(victim)
+		if err := tree.Validate(live); err != nil {
+			t.Fatalf("after removing %d: %v", victim, err)
+		}
+		if want := freshRefinement(d, preds, live); tree.NumLeaves() != want {
+			t.Fatalf("after removing %d: %d leaves, full refinement has %d",
+				victim, tree.NumLeaves(), want)
+		}
+		checkClassification(t, tree, d, preds, live, 2, rng, 50)
+	}
+	if tree.NumLeaves() != 1 {
+		t.Fatalf("empty predicate set must leave the single atom True, got %d leaves", tree.NumLeaves())
+	}
+}
+
+func TestRemovePredicateIsPersistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	d := bdd.New(16)
+	preds := randomPrefixPreds(d, 8, 16, rng)
+	in := buildInput(d, preds, rng)
+	old := Build(in, MethodQuick)
+	oldLeaves := old.NumLeaves()
+
+	nt := old.RemovePredicate(3)
+	rest := make([]int32, 0, len(in.Live)-1)
+	for _, id := range in.Live {
+		if id != 3 {
+			rest = append(rest, id)
+		}
+	}
+	if err := nt.Validate(rest); err != nil {
+		t.Fatal(err)
+	}
+	// The old version must be untouched: same leaf count, still valid for
+	// the full predicate set, still routing on predicate 3.
+	if old.NumLeaves() != oldLeaves {
+		t.Fatal("RemovePredicate mutated the receiver's leaf count")
+	}
+	if err := old.Validate(in.Live); err != nil {
+		t.Fatalf("receiver corrupted: %v", err)
+	}
+	if old.Pred(3) == bdd.False || nt.Pred(3) != bdd.False {
+		t.Fatal("predicate slot handling wrong across versions")
+	}
+	checkClassification(t, old, d, preds, in.Live, 2, rng, 100)
+	checkClassification(t, nt, d, preds, rest, 2, rng, 100)
+}
+
+func TestRemovePredicateAbsentIDIsNoop(t *testing.T) {
+	d := bdd.New(8)
+	in := Input{D: d, Atoms: predicate.Compute(d, nil)}
+	tree := Build(in, MethodOrder)
+	// Never placed (out of range) and placed-as-False (an all-deny ACL
+	// registers bdd.False, which Build never routes on) both share the
+	// receiver: there is no structural trace of the ID to remove.
+	if nt := tree.RemovePredicate(0); nt != tree {
+		t.Fatal("removing an absent predicate must share the receiver")
+	}
+}
+
+func TestApplyDeltaBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	d := bdd.New(16)
+	preds := randomPrefixPreds(d, 10, 16, rng)
+	in := buildInput(d, preds, rng)
+	tree := Build(in, MethodOAPT)
+	live := append([]int32(nil), in.Live...)
+
+	allPreds := append([]bdd.Ref(nil), preds...)
+	for round := 0; round < 10; round++ {
+		// Remove up to two random live predicates, add up to two fresh ones,
+		// in one batch.
+		var removals []int32
+		for k := 0; k < 2 && len(live) > 1; k++ {
+			i := rng.Intn(len(live))
+			removals = append(removals, live[i])
+			live = append(live[:i], live[i+1:]...)
+		}
+		var adds []PredAdd
+		for k := 0; k < 1+rng.Intn(2); k++ {
+			p := d.Retain(d.FromPrefix(0, uint64(rng.Uint32()>>16), 1+rng.Intn(8), 16))
+			id := int32(len(allPreds))
+			allPreds = append(allPreds, p)
+			live = append(live, id)
+			adds = append(adds, PredAdd{ID: id, P: p})
+		}
+		var st DeltaStats
+		tree, st = tree.ApplyDelta(removals, adds)
+		if len(removals) > 0 && st.Merges == 0 && st.TouchedLeaves == 0 && st.Splits == 0 {
+			// Possible only if the removed predicates never refined anything;
+			// with random prefixes over 16 bits this is overwhelmingly
+			// unlikely but not an error.
+			t.Logf("round %d: delta batch did no structural work", round)
+		}
+		if err := tree.Validate(live); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if want := freshRefinement(d, allPreds, live); tree.NumLeaves() != want {
+			t.Fatalf("round %d: %d leaves, full refinement has %d", round, tree.NumLeaves(), want)
+		}
+		checkClassification(t, tree, d, allPreds, live, 2, rng, 50)
+	}
+}
+
+func TestDeltaStatsCounts(t *testing.T) {
+	d := bdd.New(8)
+	in := Input{D: d, Atoms: predicate.Compute(d, nil)}
+	tree := Build(in, MethodOrder) // single leaf True
+	p := d.Retain(d.FromPrefix(0, 0x80, 1, 8))
+
+	nt, st := tree.ApplyDelta(nil, []PredAdd{{ID: 0, P: p}})
+	if st.Splits != 1 || st.Merges != 0 {
+		t.Fatalf("add stats = %+v, want one split", st)
+	}
+	nt2, st2 := nt.ApplyDelta([]int32{0}, nil)
+	if st2.Merges != 1 || st2.Splits != 0 {
+		t.Fatalf("remove stats = %+v, want one merge", st2)
+	}
+	if nt2.NumLeaves() != 1 {
+		t.Fatalf("leaves = %d after add+remove, want 1", nt2.NumLeaves())
+	}
+}
+
+// TestManagerRemoveVersusTombstone checks the Tx.Remove path end to end
+// through the manager: removed predicates physically leave the tree (leaf
+// count shrinks back), snapshots pinned before the removal keep the old
+// refinement, and classification agrees with direct evaluation throughout.
+func TestManagerRemoveVersusTombstone(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	m := NewManager(16, MethodOAPT)
+	var ids []int32
+	for i := 0; i < 12; i++ {
+		ids = append(ids, addRandomPredicate(m, rng))
+	}
+	before := m.Snapshot()
+	beforeLeaves := m.Tree().NumLeaves()
+
+	// Hard-remove half the predicates.
+	for _, id := range ids[:6] {
+		m.Update(func(tx *Tx) { tx.Remove(id) })
+	}
+	after := m.Tree().NumLeaves()
+	if after >= beforeLeaves {
+		t.Fatalf("leaf count %d did not shrink from %d after six removals", after, beforeLeaves)
+	}
+	// The pinned snapshot keeps the old epoch's refinement.
+	if got := before.Tree().NumLeaves(); got != beforeLeaves {
+		t.Fatalf("pinned snapshot leaf count changed: %d != %d", got, beforeLeaves)
+	}
+	// Live classification must match the remaining predicate set.
+	d := m.DD()
+	tree := m.Tree()
+	for i := 0; i < 200; i++ {
+		pkt := make([]byte, 2)
+		rng.Read(pkt)
+		leaf := tree.Classify(pkt)
+		for _, id := range ids[6:] {
+			want := d.EvalBits(m.Ref(id), pkt)
+			if got := leaf.Member.Get(int(id)); got != want {
+				t.Fatalf("membership bit %d = %v, eval = %v", id, got, want)
+			}
+		}
+		// Removed predicates must read as clear.
+		for _, id := range ids[:6] {
+			if leaf.Member.Get(int(id)) {
+				t.Fatalf("removed predicate %d still has membership bits set", id)
+			}
+		}
+	}
+	// The tree no longer routes on any removed predicate.
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.IsLeaf() {
+			return
+		}
+		for _, id := range ids[:6] {
+			if n.Pred == id {
+				t.Fatalf("tree still routes on removed predicate %d", id)
+			}
+		}
+		walk(n.T)
+		walk(n.F)
+	}
+	walk(m.Tree().Root())
+}
+
+// TestReconstructReplaysHardRemovals interleaves Tx.Remove with running
+// reconstructions. Removals that land between a rebuild's snapshot and its
+// swap are journaled as hard deletions and replayed onto the fresh tree
+// (phase 4); whatever the interleaving, the swapped-in tree must never
+// route on, or carry membership bits for, a removed predicate, and must
+// still classify the remaining set correctly.
+func TestReconstructReplaysHardRemovals(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	for round := 0; round < 8; round++ {
+		m := NewManager(16, MethodQuick)
+		var ids []int32
+		for i := 0; i < 12; i++ {
+			ids = append(ids, addRandomPredicate(m, rng))
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			m.Reconstruct(false)
+			m.Reconstruct(true)
+		}()
+		removed := ids[:4]
+		for _, id := range removed {
+			m.Update(func(tx *Tx) { tx.Remove(id) })
+		}
+		added := addRandomPredicate(m, rng)
+		<-done
+		// One more swap with a quiet journal so the final tree has seen a
+		// rebuild after every removal, whichever phase they landed in.
+		m.Reconstruct(false)
+
+		tree := m.Tree()
+		var walk func(n *Node)
+		walk = func(n *Node) {
+			if n.IsLeaf() {
+				for _, id := range removed {
+					if n.Member.Get(int(id)) {
+						t.Fatalf("round %d: membership bit of removed predicate %d set", round, id)
+					}
+				}
+				return
+			}
+			for _, id := range removed {
+				if n.Pred == id {
+					t.Fatalf("round %d: tree routes on removed predicate %d", round, id)
+				}
+			}
+			walk(n.T)
+			walk(n.F)
+		}
+		walk(tree.Root())
+		d := m.DD()
+		live := append(append([]int32(nil), ids[4:]...), added)
+		for i := 0; i < 100; i++ {
+			pkt := make([]byte, 2)
+			rng.Read(pkt)
+			leaf := tree.Classify(pkt)
+			for _, id := range live {
+				if got, want := leaf.Member.Get(int(id)), d.EvalBits(m.Ref(id), pkt); got != want {
+					t.Fatalf("round %d: membership bit %d = %v, eval = %v", round, id, got, want)
+				}
+			}
+		}
+	}
+}

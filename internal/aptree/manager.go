@@ -67,9 +67,10 @@ type Manager struct {
 }
 
 type journalOp struct {
-	del bool
-	id  int32
-	ref bdd.Ref // in the DD that was live when the op was journaled
+	del  bool
+	hard bool // physical removal (atom merge), not a tombstone
+	id   int32
+	ref  bdd.Ref // in the DD that was live when the op was journaled
 }
 
 // NewManager returns a manager over an empty predicate set (every packet
@@ -171,6 +172,9 @@ func (m *Manager) Classify(pkt []byte) (*Node, uint64) {
 // callback.
 type Tx struct {
 	m *Manager
+	// stats accumulates the structural delta work of the transaction's
+	// Add/Remove calls; Update flushes it into the apc_delta_* metrics.
+	stats DeltaStats
 }
 
 // DD returns the live BDD manager; valid only inside the Update callback.
@@ -193,7 +197,7 @@ func (tx *Tx) Add(ref bdd.Ref) int32 {
 	m := tx.m
 	m.d.Retain(ref)
 	id := m.reg.Add(ref)
-	m.tree = m.tree.AddPredicate(id, ref)
+	m.tree = m.tree.addPredicate(id, ref, &tx.stats)
 	m.updatesSinceSwap++
 	if m.journal != nil {
 		m.journal = append(m.journal, journalOp{id: id, ref: ref})
@@ -213,6 +217,23 @@ func (tx *Tx) Delete(id int32) {
 	}
 }
 
+// Remove physically deletes a live predicate: the registry slot dies (IDs
+// are never reused) and the live tree runs the atom-merge dual of
+// AddPredicate, so the partition coarsens immediately instead of waiting
+// for a Reconstruct to sweep tombstones. Like Add, the tree update is
+// persistent and pinned snapshots keep the previous version.
+//
+//lint:ignore lockguard Update holds m.mu for the life of the Tx
+func (tx *Tx) Remove(id int32) {
+	m := tx.m
+	m.reg.Delete(id)
+	m.tree = m.tree.removePredicate(id, &tx.stats)
+	m.updatesSinceSwap++
+	if m.journal != nil {
+		m.journal = append(m.journal, journalOp{del: true, hard: true, id: id})
+	}
+}
+
 // Update runs fn under the write lock and republishes the snapshot. All
 // predicate changes triggered by one data-plane event (a rule insertion
 // can alter several port predicates through LPM shadowing) should share
@@ -222,10 +243,17 @@ func (m *Manager) Update(fn func(tx *Tx)) {
 	start := time.Now()
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	fn(&Tx{m})
+	tx := &Tx{m: m}
+	fn(tx)
 	m.publishLocked()
 	mUpdates.Inc()
 	mUpdateDur.Record(time.Since(start).Seconds())
+	if !tx.stats.zero() {
+		mDeltaTouched.Add(tx.stats.TouchedLeaves)
+		mDeltaSplits.Add(tx.stats.Splits)
+		mDeltaMerges.Add(tx.stats.Merges)
+		mDeltaApplyDur.Record(time.Since(start).Seconds())
+	}
 }
 
 // AddPredicate registers a new predicate and updates the live tree in real
@@ -346,7 +374,15 @@ func (m *Manager) Reconstruct(weighted bool) {
 	m.mu.Lock()
 	for _, op := range m.journal {
 		if op.del {
-			continue // registry already tombstoned; new tree never placed it
+			if !op.hard {
+				continue // tombstone: the rebuilt tree keeps routing on it
+			}
+			// Hard removal journaled mid-rebuild. The new tree placed this
+			// predicate (it was live at the phase-1 snapshot, or added by an
+			// earlier journal entry), so replay the atom merge too.
+			newTree = newTree.RemovePredicate(op.id)
+			newRefs[op.id] = bdd.False
+			continue
 		}
 		ref := bdd.Transfer(newD, oldD, op.ref)
 		newD.Retain(ref)

@@ -22,6 +22,18 @@ var (
 		"Reconstruction swaps: times a freshly rebuilt tree replaced the live one.")
 	mPublishes = obs.Default.Counter("apc_aptree_snapshot_publishes_total",
 		"Snapshot publications (every update or swap republishes the epoch pointer).")
+
+	// Delta-engine counters: structural work done by incremental predicate
+	// transactions (Tx.Add splits, Tx.Remove merges). Recorded once per
+	// Update under the write lock, from the transaction's DeltaStats.
+	mDeltaTouched = obs.Default.Counter("apc_delta_touched_leaves_total",
+		"Leaves copied or created by delta transactions (the copy-on-write footprint).")
+	mDeltaSplits = obs.Default.Counter("apc_delta_splits_total",
+		"Atom splits performed by delta transactions (AddPredicate on a straddling leaf).")
+	mDeltaMerges = obs.Default.Counter("apc_delta_merges_total",
+		"Atom merges performed by delta transactions (RemovePredicate joining sibling leaves).")
+	mDeltaApplyDur = obs.Default.Histogram("apc_delta_apply_duration_seconds",
+		"Wall time of one delta transaction (structural splice + republish).", obs.DefBuckets)
 )
 
 // total sums every counter across all chunks and stripes: the number of

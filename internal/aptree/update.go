@@ -29,6 +29,11 @@ import (
 // Drop must not be used on a lineage that has seen AddPredicate; the
 // manager never does.
 func (t *Tree) AddPredicate(id int32, p bdd.Ref) *Tree {
+	var st DeltaStats
+	return t.addPredicate(id, p, &st)
+}
+
+func (t *Tree) addPredicate(id int32, p bdd.Ref, st *DeltaStats) *Tree {
 	if int(id) < len(t.preds) && t.preds[id] != bdd.False {
 		panic(fmt.Sprintf("aptree: predicate ID %d already present", id))
 	}
@@ -44,7 +49,7 @@ func (t *Tree) AddPredicate(id int32, p bdd.Ref) *Tree {
 		nt.preds = append(nt.preds, bdd.False)
 	}
 	nt.preds[id] = p
-	nt.root = nt.addRec(t.root, id, p)
+	nt.root = nt.addRec(t.root, id, p, st)
 	nt.visits.grow(int(nt.nextAtom))
 	nt.debugCheckPartition()
 	return nt
@@ -52,9 +57,9 @@ func (t *Tree) AddPredicate(id int32, p bdd.Ref) *Tree {
 
 // addRec returns the updated version of n, sharing n itself whenever the
 // subtree is unaffected by the new predicate.
-func (t *Tree) addRec(n *Node, id int32, p bdd.Ref) *Node {
+func (t *Tree) addRec(n *Node, id int32, p bdd.Ref, st *DeltaStats) *Node {
 	if !n.IsLeaf() {
-		nt, nf := t.addRec(n.T, id, p), t.addRec(n.F, id, p)
+		nt, nf := t.addRec(n.T, id, p, st), t.addRec(n.F, id, p, st)
 		if nt == n.T && nf == n.F {
 			return n
 		}
@@ -72,6 +77,7 @@ func (t *Tree) addRec(n *Node, id int32, p bdd.Ref) *Node {
 		// Atom entirely inside p: copy the leaf with the bit set.
 		m := n.Member.Clone(len(t.preds))
 		m.Set(int(id), true)
+		st.TouchedLeaves++
 		return &Node{Pred: -1, Depth: n.Depth, AtomID: n.AtomID, BDD: n.BDD, Member: m}
 	}
 	// Straddles: split into two fresh leaves. The old leaf (and its BDD
@@ -87,6 +93,8 @@ func (t *Tree) addRec(n *Node, id int32, p bdd.Ref) *Node {
 	fLeaf := &Node{Pred: -1, Depth: n.Depth + 1, AtomID: t.nextAtom + 1, BDD: fr, Member: mf}
 	t.nextAtom += 2
 	t.numLeaves++
+	st.TouchedLeaves++
+	st.Splits++
 	return &Node{Pred: id, Depth: n.Depth, T: tLeaf, F: fLeaf}
 }
 

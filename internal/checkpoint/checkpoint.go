@@ -18,7 +18,8 @@
 //	sections, each: name [4]byte | payloadLen uint32 | payload | crc32(name‖payload)
 //
 // in fixed order: META (epoch, method, variable and predicate counts,
-// atom bound), DSET (the dataset in netgen text form), PRED (liveness
+// atom bound, rule-delta sequence cursor), DSET (the dataset in netgen
+// text form), PRED (liveness
 // bitset), BDDS (one bdd.Save stream whose roots are every predicate
 // slot followed by every leaf atom), TREE (the node structure as an
 // indexed record array), TOPO (per-box predicate wiring), END (empty
@@ -81,6 +82,10 @@ type Source struct {
 	Dataset *netgen.Dataset
 	Method  aptree.Method
 	Wiring  []BoxWiring
+	// DeltaSeq is the last applied rule-delta sequence number (the
+	// /rules/batch idempotency cursor); 0 if no sequenced batch was ever
+	// applied.
+	DeltaSeq uint64
 }
 
 // Restored is a decoded checkpoint: a fully published manager (its
@@ -92,4 +97,7 @@ type Restored struct {
 	Method  aptree.Method
 	Wiring  []BoxWiring
 	Epoch   uint64
+	// DeltaSeq restores the /rules/batch idempotency cursor: a sequenced
+	// batch at or below it was already applied before the checkpoint.
+	DeltaSeq uint64
 }

@@ -89,6 +89,10 @@ func decode(r io.Reader) (*Restored, error) {
 	if err != nil {
 		return nil, err
 	}
+	deltaSeq, err := meta.u64()
+	if err != nil {
+		return nil, err
+	}
 	if err := meta.done(); err != nil {
 		return nil, err
 	}
@@ -160,11 +164,12 @@ func decode(r io.Reader) (*Restored, error) {
 	}
 	m := aptree.NewRestoredManager(d, reg, tree, aptree.Method(methodU), epoch)
 	return &Restored{
-		Manager: m,
-		Dataset: ds,
-		Method:  aptree.Method(methodU),
-		Wiring:  wiring,
-		Epoch:   epoch,
+		Manager:  m,
+		Dataset:  ds,
+		Method:   aptree.Method(methodU),
+		Wiring:   wiring,
+		Epoch:    epoch,
+		DeltaSeq: deltaSeq,
 	}, nil
 }
 
@@ -390,6 +395,7 @@ func (r *Restored) SelfCheck(n int, seed int64) error {
 type Info struct {
 	FormatVersion uint16
 	Epoch         uint64
+	DeltaSeq      uint64
 	Method        aptree.Method
 	NumVars       int
 	NumPreds      int
@@ -449,6 +455,12 @@ func Inspect(r io.Reader) (*Info, error) {
 		return nil, err
 	}
 	info.NumPreds = int(numPredsU)
+	if _, err := meta.u32(); err != nil { // atom bound, not summarized
+		return nil, err
+	}
+	if info.DeltaSeq, err = meta.u64(); err != nil {
+		return nil, err
+	}
 	for _, b := range payloads["PRED"] {
 		for ; b != 0; b &= b - 1 {
 			info.NumLive++

@@ -65,6 +65,7 @@ func Encode(w io.Writer, src *Source) error {
 	meta.u32(uint32(src.Snap.View().NumVars()))
 	meta.u32(uint32(numPreds))
 	meta.u32(uint32(tree.NextAtom()))
+	meta.u64(src.DeltaSeq)
 	if err := writeSection(bw, "META", meta.b); err != nil {
 		return err
 	}

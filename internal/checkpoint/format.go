@@ -11,7 +11,9 @@ import (
 const (
 	fileMagic = "APCKPT"
 	// FormatVersion is the checkpoint format this build reads and writes.
-	FormatVersion uint16 = 1
+	// v2 appended the rule-delta sequence cursor to META so a restored
+	// server resumes the /rules/batch firehose idempotently.
+	FormatVersion uint16 = 2
 )
 
 // Section names, in the exact order they appear in a file.

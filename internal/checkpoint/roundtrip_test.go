@@ -56,7 +56,7 @@ func testSource(t testing.TB, seed int64) (*aptree.Manager, *Source) {
 		}
 		wiring[b] = w
 	}
-	return m, &Source{Snap: snap, Dataset: ds, Method: m.Method(), Wiring: wiring}
+	return m, &Source{Snap: snap, Dataset: ds, Method: m.Method(), Wiring: wiring, DeltaSeq: uint64(seed)*100 + 7}
 }
 
 func encodeToBytes(t *testing.T, src *Source) []byte {
@@ -80,6 +80,9 @@ func TestRoundTrip(t *testing.T) {
 	}
 	if res.Method != src.Method {
 		t.Fatalf("method %v, want %v", res.Method, src.Method)
+	}
+	if res.DeltaSeq != src.DeltaSeq {
+		t.Fatalf("delta seq %d, want %d", res.DeltaSeq, src.DeltaSeq)
 	}
 	if res.Manager.Version() != src.Snap.Version() {
 		t.Fatal("restored manager must republish the checkpointed epoch")
@@ -201,6 +204,9 @@ func TestInspect(t *testing.T) {
 	}
 	if info.FormatVersion != FormatVersion || info.Epoch != src.Snap.Version() {
 		t.Fatalf("info header wrong: %+v", info)
+	}
+	if info.DeltaSeq != src.DeltaSeq {
+		t.Fatalf("delta seq %d, want %d", info.DeltaSeq, src.DeltaSeq)
 	}
 	if info.NumPreds != src.Snap.Tree().NumPreds() || info.NumLive != src.Snap.NumLive() {
 		t.Fatalf("predicate counts wrong: %+v", info)

@@ -149,8 +149,11 @@ func (fl *flowState) flowAssign(lhs, rhs []ast.Expr) bool {
 		return changed
 	}
 	// Tuple form: x, y, err := f(). No per-value sub-expression exists,
-	// so judge each result position by type.
-	if len(rhs) != 1 || fl.cfg.sourceType == nil {
+	// so judge each result position by type — and, under derive, apply
+	// taintedCall's getter rule here too: a tuple-returning method on a
+	// tainted receiver hands out pointer-shaped projections of it
+	// (leaf, ver := s.Classify(pkt)).
+	if len(rhs) != 1 {
 		return false
 	}
 	call, ok := ast.Unparen(rhs[0]).(*ast.CallExpr)
@@ -161,9 +164,24 @@ func (fl *flowState) flowAssign(lhs, rhs []ast.Expr) bool {
 	if !ok || tup.Len() != len(lhs) {
 		return false
 	}
+	var recvFact flowFact
+	var recvTainted bool
+	if fl.cfg.derive {
+		if sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr); isSel {
+			if s := fl.info.Selections[sel]; s != nil && s.Kind() == types.MethodVal {
+				recvFact, recvTainted = fl.tainted(sel.X)
+			}
+		}
+	}
 	for i := range lhs {
-		if tag, ok := fl.cfg.sourceType(tup.At(i).Type()); ok {
-			changed = fl.taint(lhs[i], flowFact{call.Pos(), tag}) || changed
+		if fl.cfg.sourceType != nil {
+			if tag, isSrc := fl.cfg.sourceType(tup.At(i).Type()); isSrc {
+				changed = fl.taint(lhs[i], flowFact{call.Pos(), tag}) || changed
+				continue
+			}
+		}
+		if recvTainted && pointerShaped(tup.At(i).Type()) {
+			changed = fl.taint(lhs[i], recvFact) || changed
 		}
 	}
 	return changed

@@ -39,3 +39,16 @@ func capturedMix(m *aptree.Manager) func() bool {
 		return m.Snapshot() == s // closure re-pins while holding s
 	}
 }
+
+func liveTreeAfterDelta(m *aptree.Manager) int {
+	before := m.Snapshot()
+	m.Update(func(tx *aptree.Tx) {}) // apply a delta batch
+	return m.Tree().NumLeaves() - before.Tree().NumLeaves()
+}
+
+func deltaLeafDiff(m *aptree.Manager) int {
+	a := m.Snapshot()
+	m.Update(func(tx *aptree.Tx) {})
+	b := m.Snapshot() // second pin to diff the delta's epochs
+	return b.Tree().NumLeaves() - a.Tree().NumLeaves()
+}

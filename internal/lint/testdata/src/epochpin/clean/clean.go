@@ -31,3 +31,11 @@ func capturedReadOnly(m *aptree.Manager) func() uint64 {
 	s := m.Snapshot()
 	return func() uint64 { return s.Version() }
 }
+
+// The delta-engine idiom: apply the batch, then pin the epoch it
+// published — stats and leaf counts all answer from that one snapshot.
+func deltaThenPin(m *aptree.Manager) (int, uint64) {
+	m.Update(func(tx *aptree.Tx) {})
+	s := m.Snapshot()
+	return s.Tree().NumLeaves(), s.Version()
+}

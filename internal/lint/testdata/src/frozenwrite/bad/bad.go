@@ -26,3 +26,12 @@ func mutateDerived(s *aptree.Snapshot) {
 func mutateViaMethod(s *aptree.Snapshot) {
 	s.Tree().Root().Member.Set(0, true) // Set* on snapshot-reachable state
 }
+
+func renumberLeafInPlace(s *aptree.Snapshot, pkt []byte) {
+	leaf, _ := s.Classify(pkt)
+	leaf.AtomID = 9 // delta renumbering is copy-on-write, never in place
+}
+
+func deltaOnPublishedTree(s *aptree.Snapshot) {
+	s.Tree().RemovePredicate(3) // deltas go through Manager.Update, not the published tree
+}

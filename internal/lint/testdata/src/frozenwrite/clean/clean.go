@@ -34,3 +34,12 @@ func freshConstruction(ingress int) *network.Behavior {
 func readOnly(s *aptree.Snapshot) (int, bool) {
 	return s.Tree().NumLeaves(), s.Tree().Root().Member.Get(0)
 }
+
+// The delta engine's copy-on-write discipline: the replacement node is
+// built fresh, so writing it cannot reach the published snapshot.
+func copyOnWriteLeaf(s *aptree.Snapshot, pkt []byte) *aptree.Node {
+	leaf, _ := s.Classify(pkt)
+	nn := &aptree.Node{}
+	nn.AtomID = leaf.AtomID + 1
+	return nn
+}

@@ -23,3 +23,9 @@ func taintedVar(kind string) {
 	k := "prefix-" + kind // bounded prefix, unbounded suffix
 	vec.With(k).Inc()
 }
+
+type deltaReq struct{ Op string }
+
+func wireLabel(rq deltaReq) {
+	vec.With(rq.Op).Inc() // label straight off the wire: one child per client string
+}

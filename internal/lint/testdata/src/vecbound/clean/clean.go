@@ -36,3 +36,25 @@ var children = func() map[string]*obs.Counter {
 	}
 	return out
 }()
+
+// The delta-firehose idiom: children are resolved at init from the named
+// op constants, and request strings only select among them — unknown ops
+// never mint a counter.
+const (
+	opAdd    = "add-fwd"
+	opRemove = "remove-fwd"
+)
+
+var opCounters = func() map[string]*obs.Counter {
+	out := make(map[string]*obs.Counter)
+	for _, op := range []string{opAdd, opRemove} {
+		out[op] = vec.With(op)
+	}
+	return out
+}()
+
+func wireLabelResolved(op string) {
+	if c, ok := opCounters[op]; ok {
+		c.Inc()
+	}
+}

@@ -1,6 +1,7 @@
 package predicate
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/rand"
 
@@ -158,6 +159,50 @@ func (a *Atoms) AddPredicate(id int, p bdd.Ref) {
 			a.Member = append(a.Member, fm)
 		}
 	}
+}
+
+// vecKey canonicalizes a membership vector for equality grouping, ignoring
+// trailing zero words so vectors sized for different ID-space capacities
+// compare by content.
+func vecKey(b Bitset) string {
+	n := len(b)
+	for n > 0 && b[n-1] == 0 {
+		n--
+	}
+	buf := make([]byte, n*8)
+	for w := 0; w < n; w++ {
+		binary.LittleEndian.PutUint64(buf[w*8:], b[w])
+	}
+	return string(buf)
+}
+
+// RemovePredicate coarsens the atom set in place after predicate id is
+// deleted — the dual of AddPredicate. Clearing bit id leaves some atoms with
+// identical membership vectors; each such group is merged into one atom
+// whose BDD is the group's disjunction, restoring the coarsest-partition
+// property without a global recompute. Atom IDs are compacted (atoms shift
+// down); callers tracking atom identity must not rely on IDs across a
+// removal. Bit id becomes permanently clear; the slot is dead until the ID
+// space is rebuilt.
+func (a *Atoms) RemovePredicate(id int) {
+	groups := make(map[string]int, len(a.List))
+	out := a.List[:0]
+	outM := a.Member[:0]
+	d := a.D
+	for i, atom := range a.List {
+		m := a.Member[i].Clone(a.NumPreds)
+		m.Set(id, false)
+		key := vecKey(m)
+		if j, ok := groups[key]; ok {
+			out[j] = d.Or(out[j], atom)
+			continue
+		}
+		groups[key] = len(out)
+		out = append(out, atom)
+		outM = append(outM, m)
+	}
+	a.List = out
+	a.Member = outM
 }
 
 // ClassifyLinear finds the atom whose BDD evaluates true on the packet by

@@ -1,0 +1,226 @@
+package predicate
+
+import (
+	"math/rand"
+	"testing"
+
+	"apclassifier/internal/bdd"
+	"apclassifier/internal/header"
+	"apclassifier/internal/rule"
+)
+
+// applyDeltas installs each delta's New predicate into preds.
+func applyDeltas(preds []bdd.Ref, deltas []PortPredicateDelta) {
+	for _, dl := range deltas {
+		preds[dl.Port] = dl.New
+	}
+}
+
+func TestDeltaPortPredicatesAdd(t *testing.T) {
+	const numPorts = 3
+	d := bdd.New(32)
+	var tbl rule.FwdTable
+	tbl.Add(rule.FwdRule{Prefix: rule.P(0, 0), Port: 0})
+	tbl.Add(rule.FwdRule{Prefix: rule.P(0x0A000000, 8), Port: 1})
+	preds := PortPredicates(d, header.IPv4Dst, "dstIP", &tbl, numPorts)
+
+	cone := tbl.AddWithCone(rule.FwdRule{Prefix: rule.P(0x0A0B0000, 16), Port: 2})
+	deltas := DeltaPortPredicates(d, header.IPv4Dst, "dstIP", &tbl, []rule.Cone{cone}, numPorts,
+		func(p int) bdd.Ref { return preds[p] })
+
+	// Port 1 loses 10.11/16 to port 2; port 0 is covered by the cone but
+	// unchanged (10/8 already shadowed it there), so no delta for it.
+	got := map[int]bool{}
+	for _, dl := range deltas {
+		got[dl.Port] = true
+	}
+	if got[0] || !got[1] || !got[2] {
+		t.Fatalf("deltas for ports %v, want exactly {1,2}", got)
+	}
+	applyDeltas(preds, deltas)
+	want := PortPredicates(d, header.IPv4Dst, "dstIP", &tbl, numPorts)
+	for p := range want {
+		if preds[p] != want[p] {
+			t.Fatalf("port %d predicate diverges from full recompute", p)
+		}
+	}
+}
+
+func TestDeltaPortPredicatesEmptyCone(t *testing.T) {
+	d := bdd.New(32)
+	var tbl rule.FwdTable
+	tbl.Add(rule.FwdRule{Prefix: rule.P(0, 0), Port: 0})
+	if got := DeltaPortPredicates(d, header.IPv4Dst, "dstIP", &tbl, nil, 1,
+		func(int) bdd.Ref { t.Fatal("old must not be read"); return bdd.False }); got != nil {
+		t.Fatalf("no cones must yield no deltas, got %v", got)
+	}
+}
+
+// TestDeltaPortPredicatesChurn drives a random table through interleaved
+// adds and removes, maintaining predicates purely by deltas, and checks after
+// every step that they are identical (as BDD nodes) to a full recompute.
+func TestDeltaPortPredicatesChurn(t *testing.T) {
+	const numPorts = 5
+	rng := rand.New(rand.NewSource(31))
+	d := bdd.New(32)
+	var tbl rule.FwdTable
+	for i := 0; i < 40; i++ {
+		length := []int{0, 4, 8, 12, 16, 20, 24}[rng.Intn(7)]
+		tbl.Add(rule.FwdRule{
+			Prefix: rule.P(uint32(rng.Intn(4))<<28|rng.Uint32()>>4, length),
+			Port:   rng.Intn(numPorts+1) - 1, // includes Drop
+		})
+	}
+	preds := PortPredicates(d, header.IPv4Dst, "dstIP", &tbl, numPorts)
+	for step := 0; step < 120; step++ {
+		var cone rule.Cone
+		if rng.Intn(2) == 0 || len(tbl.Rules) == 0 {
+			length := []int{0, 4, 8, 12, 16, 20, 24, 28, 32}[rng.Intn(9)]
+			cone = tbl.AddWithCone(rule.FwdRule{
+				Prefix: rule.P(uint32(rng.Intn(4))<<28|rng.Uint32()>>4, length),
+				Port:   rng.Intn(numPorts+1) - 1,
+			})
+		} else {
+			victim := tbl.Rules[rng.Intn(len(tbl.Rules))].Prefix
+			var ok bool
+			cone, ok = tbl.RemoveWithCone(victim)
+			if !ok {
+				t.Fatalf("step %d: removing an existing prefix failed", step)
+			}
+		}
+		deltas := DeltaPortPredicates(d, header.IPv4Dst, "dstIP", &tbl, []rule.Cone{cone}, numPorts,
+			func(p int) bdd.Ref { return preds[p] })
+		applyDeltas(preds, deltas)
+		want := PortPredicates(d, header.IPv4Dst, "dstIP", &tbl, numPorts)
+		for p := range want {
+			if preds[p] != want[p] {
+				t.Fatalf("step %d: port %d predicate diverges from full recompute", step, p)
+			}
+		}
+	}
+}
+
+// TestDeltaPortPredicatesBatched checks multi-cone application: several
+// mutations collected first, then converted in one DeltaPortPredicates call
+// against the final table.
+func TestDeltaPortPredicatesBatched(t *testing.T) {
+	const numPorts = 4
+	rng := rand.New(rand.NewSource(47))
+	d := bdd.New(32)
+	var tbl rule.FwdTable
+	for i := 0; i < 30; i++ {
+		tbl.Add(rule.FwdRule{
+			Prefix: rule.P(rng.Uint32()&0x30FF0000, []int{0, 4, 8, 12, 16}[rng.Intn(5)]),
+			Port:   rng.Intn(numPorts+1) - 1,
+		})
+	}
+	preds := PortPredicates(d, header.IPv4Dst, "dstIP", &tbl, numPorts)
+	for round := 0; round < 20; round++ {
+		var cones []rule.Cone
+		for k := 0; k < 1+rng.Intn(5); k++ {
+			if rng.Intn(2) == 0 || len(tbl.Rules) == 0 {
+				cones = append(cones, tbl.AddWithCone(rule.FwdRule{
+					Prefix: rule.P(rng.Uint32()&0x30FF0000, []int{4, 8, 12, 16, 20}[rng.Intn(5)]),
+					Port:   rng.Intn(numPorts+1) - 1,
+				}))
+			} else {
+				victim := tbl.Rules[rng.Intn(len(tbl.Rules))].Prefix
+				if c, ok := tbl.RemoveWithCone(victim); ok {
+					cones = append(cones, c)
+				}
+			}
+		}
+		deltas := DeltaPortPredicates(d, header.IPv4Dst, "dstIP", &tbl, cones, numPorts,
+			func(p int) bdd.Ref { return preds[p] })
+		applyDeltas(preds, deltas)
+		want := PortPredicates(d, header.IPv4Dst, "dstIP", &tbl, numPorts)
+		for p := range want {
+			if preds[p] != want[p] {
+				t.Fatalf("round %d: port %d predicate diverges from full recompute", round, p)
+			}
+		}
+	}
+}
+
+// TestRemovePredicateMerges checks the dual of AddPredicate directly: after
+// removing a predicate, the atom set equals a fresh computation over the
+// remaining predicates (same partition, correct membership).
+func TestRemovePredicateMerges(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	d := bdd.New(32)
+	var preds []bdd.Ref
+	for i := 0; i < 8; i++ {
+		preds = append(preds, PrefixBDD(d, header.IPv4Dst, "dstIP",
+			rule.P(rng.Uint32(), []int{2, 4, 6, 8}[rng.Intn(4)])))
+	}
+	a := Compute(d, preds)
+	if err := a.Verify(preds); err != nil {
+		t.Fatal(err)
+	}
+
+	victim := 3
+	a.RemovePredicate(victim)
+
+	// Remaining predicates keep their original bit positions.
+	rest := make([]bdd.Ref, 0, len(preds)-1)
+	ids := make([]int, 0, len(preds)-1)
+	for j, p := range preds {
+		if j == victim {
+			continue
+		}
+		rest = append(rest, p)
+		ids = append(ids, j)
+	}
+	want := ComputeMapped(d, rest, ids, a.NumPreds)
+
+	if a.N() != want.N() {
+		t.Fatalf("atom count %d after removal, fresh compute has %d", a.N(), want.N())
+	}
+	wantSet := map[bdd.Ref]string{}
+	for i, atom := range want.List {
+		wantSet[atom] = vecKey(want.Member[i])
+	}
+	for i, atom := range a.List {
+		key, ok := wantSet[atom]
+		if !ok {
+			t.Fatalf("atom %d not present in fresh computation", i)
+		}
+		if vecKey(a.Member[i]) != key {
+			t.Fatalf("atom %d has wrong membership vector", i)
+		}
+	}
+	for j, p := range rest {
+		rebuilt := bdd.False
+		for i, m := range a.Member {
+			if m.Get(ids[j]) {
+				rebuilt = d.Or(rebuilt, a.List[i])
+			}
+		}
+		if rebuilt != p {
+			t.Fatalf("predicate bit %d no longer the disjunction of its atoms", ids[j])
+		}
+	}
+}
+
+// TestAddRemoveRoundTrip checks AddPredicate ∘ RemovePredicate is the
+// identity on the partition.
+func TestAddRemoveRoundTrip(t *testing.T) {
+	d := bdd.New(32)
+	p0 := PrefixBDD(d, header.IPv4Dst, "dstIP", rule.P(0x0A000000, 8))
+	p1 := PrefixBDD(d, header.IPv4Dst, "dstIP", rule.P(0x0A0B0000, 16))
+	a := Compute(d, []bdd.Ref{p0, p1})
+	n := a.N()
+
+	extra := PrefixBDD(d, header.IPv4Dst, "dstIP", rule.P(0x0A0B0C00, 24))
+	a.AddPredicate(2, extra)
+	if a.N() != n+1 {
+		t.Fatalf("straddling add must split exactly one atom: %d -> %d", n, a.N())
+	}
+	a.RemovePredicate(2)
+	if a.N() != n {
+		t.Fatalf("remove must merge the split back: got %d atoms, want %d", a.N(), n)
+	}
+	if err := a.Verify([]bdd.Ref{p0, p1}); err != nil {
+		t.Fatal(err)
+	}
+}

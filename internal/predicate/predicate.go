@@ -60,6 +60,89 @@ func PortPredicates(d *bdd.DD, layout *header.Layout, dstField string, t *rule.F
 	return preds
 }
 
+// PortPredicateDelta records the change to one port's forwarding predicate
+// caused by a table mutation: the predicate went from Old to New. Ports whose
+// predicate is unchanged are not reported.
+type PortPredicateDelta struct {
+	Port     int
+	Old, New bdd.Ref
+}
+
+// DeltaPortPredicates recomputes port predicates after table mutations whose
+// LPM cones are given, touching only the header region the cones cover. t is
+// the table after the mutations; old yields the pre-mutation predicate of a
+// port. The result lists every port whose predicate actually changed.
+//
+// The construction exploits that LPM is per-packet local: the winners inside
+// the cone regions are determined by the rules overlapping those regions
+// alone, so the shadow walk of PortPredicates is replayed with every match
+// intersected with the region union, and each changed predicate is stitched
+// as (old minus region) or (winners within region). Ports outside the cones'
+// port sets are untouched by the rule.Cone contract and are never even read.
+func DeltaPortPredicates(d *bdd.DD, layout *header.Layout, dstField string, t *rule.FwdTable, cones []rule.Cone, numPorts int, old func(port int) bdd.Ref) []PortPredicateDelta {
+	candidates := make([]bool, numPorts)
+	any := false
+	for _, c := range cones {
+		for _, p := range c.Ports {
+			if p < 0 || p >= numPorts {
+				panic(fmt.Sprintf("predicate: cone port %d out of range [0,%d)", p, numPorts))
+			}
+			candidates[p] = true
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	region := bdd.False
+	for _, c := range cones {
+		region = d.Or(region, PrefixBDD(d, layout, dstField, c.Region))
+	}
+	within := make([]bdd.Ref, numPorts)
+	for i := range within {
+		within[i] = bdd.False
+	}
+	shadow := bdd.False
+	for _, ri := range t.ByDescendingLength() {
+		r := t.Rules[ri]
+		overlaps := false
+		for _, c := range cones {
+			if r.Prefix.Overlaps(c.Region) {
+				overlaps = true
+				break
+			}
+		}
+		if !overlaps {
+			// match ∧ region would be False; skipping is exact.
+			continue
+		}
+		match := d.And(PrefixBDD(d, layout, dstField, r.Prefix), region)
+		eff := d.Diff(match, shadow)
+		if eff != bdd.False && r.Port != rule.Drop {
+			if r.Port < 0 || r.Port >= numPorts {
+				panic(fmt.Sprintf("predicate: rule port %d out of range [0,%d)", r.Port, numPorts))
+			}
+			within[r.Port] = d.Or(within[r.Port], eff)
+		}
+		shadow = d.Or(shadow, match)
+		if shadow == region {
+			break
+		}
+	}
+	var deltas []PortPredicateDelta
+	for port, isCand := range candidates {
+		if !isCand {
+			continue
+		}
+		prev := old(port)
+		next := d.Or(d.Diff(prev, region), within[port])
+		if next != prev {
+			deltas = append(deltas, PortPredicateDelta{Port: port, Old: prev, New: next})
+		}
+	}
+	return deltas
+}
+
 // Match5BDD returns the BDD of a 5-tuple match condition. The layout must
 // contain every field the condition constrains non-trivially; a condition
 // on a field the layout lacks panics, because it could not be represented

@@ -91,6 +91,86 @@ func (t *FwdTable) Remove(p Prefix) bool {
 	return removed
 }
 
+// Cone is the LPM cone of a table mutation: the header region inside which
+// longest-prefix winners can change, and the output ports whose covering
+// sets may have changed. Prefix laminarity makes the cone exact: a rule
+// matching a packet inside Region either has its prefix contained in Region
+// (strictly longer, so it keeps winning regardless of the mutation) or has a
+// prefix containing Region (it can lose packets to an added rule, or regain
+// packets from a removed one). Ports never lists Drop — drops have no port
+// predicate; they reshape other ports' predicates, which the listed covering
+// ports capture.
+type Cone struct {
+	Region Prefix
+	Ports  []int
+}
+
+// Empty reports whether the mutation cannot have changed any port predicate.
+func (c Cone) Empty() bool { return len(c.Ports) == 0 }
+
+// addConePort appends p to the sorted, deduplicated port list.
+func addConePort(ports []int, p int) []int {
+	if p == Drop {
+		return ports
+	}
+	i := sort.SearchInts(ports, p)
+	if i < len(ports) && ports[i] == p {
+		return ports
+	}
+	ports = append(ports, 0)
+	copy(ports[i+1:], ports[i:])
+	ports[i] = p
+	return ports
+}
+
+// coveringPorts collects the ports of rules whose prefix contains p.
+func (t *FwdTable) coveringPorts(ports []int, p Prefix) []int {
+	for _, r := range t.Rules {
+		if r.Prefix.Contains(p) {
+			ports = addConePort(ports, r.Port)
+		}
+	}
+	return ports
+}
+
+// AddWithCone appends a rule like Add and reports the affected LPM cone:
+// region = the rule's prefix; ports = the rule's own output plus every
+// pre-existing rule whose prefix covers it (those are the only rules that can
+// lose packets to the new one — strictly-longer rules inside the region keep
+// winning, and exact-duplicate prefixes keep winning by insertion order).
+func (t *FwdTable) AddWithCone(r FwdRule) Cone {
+	c := Cone{Region: r.Prefix}
+	c.Ports = t.coveringPorts(c.Ports, r.Prefix)
+	c.Ports = addConePort(c.Ports, r.Port)
+	t.Add(r)
+	return c
+}
+
+// RemoveWithCone deletes all rules with exactly the given prefix, like
+// Remove, and reports the affected cone: region = the prefix; ports = the
+// removed rules' outputs plus every remaining rule whose prefix covers the
+// region (those can regain packets the removed rule used to capture). When
+// nothing was removed the cone is empty.
+func (t *FwdTable) RemoveWithCone(p Prefix) (Cone, bool) {
+	c := Cone{Region: p}
+	out := t.Rules[:0]
+	removed := false
+	for _, r := range t.Rules {
+		if r.Prefix == p {
+			removed = true
+			c.Ports = addConePort(c.Ports, r.Port)
+			continue
+		}
+		out = append(out, r)
+	}
+	t.Rules = out
+	if !removed {
+		return Cone{Region: p}, false
+	}
+	c.Ports = t.coveringPorts(c.Ports, p)
+	return c, true
+}
+
 // Lookup performs longest-prefix matching. The boolean result is false when
 // no rule matches (the packet is dropped by the table).
 func (t *FwdTable) Lookup(ip uint32) (port int, ok bool) {

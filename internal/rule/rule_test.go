@@ -236,3 +236,121 @@ func TestLPMQuickAgainstNaive(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestAddWithCone(t *testing.T) {
+	var tbl FwdTable
+	tbl.Add(FwdRule{P(0, 0), 0})
+	tbl.Add(FwdRule{P(0x0A000000, 8), 1})
+	tbl.Add(FwdRule{P(0x0B000000, 8), 2})
+	tbl.Add(FwdRule{P(0x0A0B0000, 16), Drop})
+
+	c := tbl.AddWithCone(FwdRule{P(0x0A0B0C00, 24), 3})
+	if c.Region != P(0x0A0B0C00, 24) {
+		t.Fatalf("region = %v", c.Region)
+	}
+	// Covering rules: /0 (port 0), 10/8 (port 1), 10.11/16 (Drop, excluded),
+	// plus the new rule's own port 3. 11/8 is disjoint and must not appear.
+	if want := []int{0, 1, 3}; !equalInts(c.Ports, want) {
+		t.Fatalf("ports = %v, want %v", c.Ports, want)
+	}
+	if len(tbl.Rules) != 5 {
+		t.Fatal("rule not installed")
+	}
+}
+
+func TestAddWithConeDropRule(t *testing.T) {
+	var tbl FwdTable
+	tbl.Add(FwdRule{P(0x0A000000, 8), 1})
+	c := tbl.AddWithCone(FwdRule{P(0x0A0B0000, 16), Drop})
+	// A drop rule has no predicate of its own; only the shadowed port 1
+	// can change.
+	if want := []int{1}; !equalInts(c.Ports, want) {
+		t.Fatalf("ports = %v, want %v", c.Ports, want)
+	}
+}
+
+func TestRemoveWithCone(t *testing.T) {
+	var tbl FwdTable
+	tbl.Add(FwdRule{P(0, 0), 0})
+	tbl.Add(FwdRule{P(0x0A000000, 8), 1})
+	tbl.Add(FwdRule{P(0x0A0B0000, 16), 2})
+	tbl.Add(FwdRule{P(0x0A0B0C00, 24), 3}) // inside the removed region, keeps winning
+
+	c, ok := tbl.RemoveWithCone(P(0x0A0B0000, 16))
+	if !ok {
+		t.Fatal("removal must report success")
+	}
+	if c.Region != P(0x0A0B0000, 16) {
+		t.Fatalf("region = %v", c.Region)
+	}
+	// Removed rule's port 2 plus remaining covering ports 0 and 1; the /24
+	// inside the region is unaffected and must not appear.
+	if want := []int{0, 1, 2}; !equalInts(c.Ports, want) {
+		t.Fatalf("ports = %v, want %v", c.Ports, want)
+	}
+
+	if c, ok := tbl.RemoveWithCone(P(0x0A0B0000, 16)); ok || !c.Empty() {
+		t.Fatalf("second removal must be an empty no-op cone, got %v ok=%v", c, ok)
+	}
+}
+
+// TestConeSoundness checks the cone contract by brute force: after a random
+// mutation, every IP whose lookup result changed lies inside the region, and
+// every port that gained or lost any sampled IP is listed in the cone.
+func TestConeSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		var tbl FwdTable
+		for i := 0; i < 30; i++ {
+			port := rng.Intn(6) - 1 // occasionally Drop
+			tbl.Add(FwdRule{P(rng.Uint32()&0x0F0F0000, rng.Intn(20)), port})
+		}
+		before := tbl
+		before.Rules = append([]FwdRule(nil), tbl.Rules...)
+
+		var cone Cone
+		if rng.Intn(2) == 0 {
+			cone = tbl.AddWithCone(FwdRule{P(rng.Uint32()&0x0F0F0000, rng.Intn(20)), rng.Intn(6) - 1})
+		} else if len(tbl.Rules) > 0 {
+			victim := tbl.Rules[rng.Intn(len(tbl.Rules))].Prefix
+			var ok bool
+			cone, ok = tbl.RemoveWithCone(victim)
+			if !ok {
+				t.Fatal("removing an existing prefix must succeed")
+			}
+		}
+		listed := map[int]bool{}
+		for _, p := range cone.Ports {
+			listed[p] = true
+		}
+		for s := 0; s < 2000; s++ {
+			ip := rng.Uint32() & 0x0F0FFFFF
+			p1, ok1 := before.Lookup(ip)
+			p2, ok2 := tbl.Lookup(ip)
+			if p1 == p2 && ok1 == ok2 {
+				continue
+			}
+			if !cone.Region.Matches(ip) {
+				t.Fatalf("trial %d: ip %08x changed outside region %v", trial, ip, cone.Region)
+			}
+			if ok1 && !listed[p1] {
+				t.Fatalf("trial %d: port %d lost ip %08x but is not in cone %v", trial, p1, ip, cone.Ports)
+			}
+			if ok2 && !listed[p2] {
+				t.Fatalf("trial %d: port %d gained ip %08x but is not in cone %v", trial, p2, ip, cone.Ports)
+			}
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

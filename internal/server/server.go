@@ -10,6 +10,7 @@
 //	POST /query/batch               → [query, ...] → [behavior, ...] (≤256 per request)
 //	POST /rules/add                 → {"box":"seattle","prefix":"10.0.0.0/8","port":3}
 //	POST /rules/remove              → {"box":"seattle","prefix":"10.0.0.0/8"}
+//	POST /rules/batch[?seq=n]       → [delta, ...] → one epoch per batch (≤256, idempotent via seq)
 //	POST /reconstruct               → {"weighted":false}
 //	POST /checkpoint                → force a checkpoint save (503 if disabled)
 //	GET  /verify/loops              → loop-freedom check over all packets
@@ -125,6 +126,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /query/batch", s.handleQueryBatch)
 	mux.HandleFunc("POST /rules/add", s.handleRuleAdd)
 	mux.HandleFunc("POST /rules/remove", s.handleRuleRemove)
+	mux.HandleFunc("POST /rules/batch", s.handleRulesBatch)
 	mux.HandleFunc("POST /reconstruct", s.handleReconstruct)
 	mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /verify/loops", s.handleLoops)
