@@ -19,7 +19,7 @@ APDEBUG_PKGS := . ./internal/bdd ./internal/aptree
 # -benchtime keeps the step fast; it is a non-regression smoke (the
 # benchmarks must run and the parallel path must stay race-clean), not a
 # performance gate — numbers live in EXPERIMENTS.md.
-BENCH_SMOKE := ^(BenchmarkManagerClassify|BenchmarkParallelClassify|BenchmarkParallelClassifyWithUpdates|BenchmarkBatchClassify)$$
+BENCH_SMOKE := ^(BenchmarkManagerClassify|BenchmarkParallelClassify|BenchmarkParallelClassifyWithUpdates|BenchmarkBatchClassify|BenchmarkFlatClassify)$$
 
 # The facade-level batch benchmark (single vs batched pipeline, behavior
 # cache on) lives in the root package; bench-smoke runs it at a tiny
@@ -41,11 +41,17 @@ COVER_OUT   := coverage-obs.out
 SMOKE_DIR := /tmp/apc-checkpoint-smoke
 
 # Fuzz targets exercised briefly by fuzz-smoke: the two binary decoders
-# that parse untrusted bytes. A short -fuzztime keeps CI fast; long runs
-# are for dedicated fuzzing sessions.
+# that parse untrusted bytes, plus the flat-vs-pointer differential
+# harness (the compiled classify core must answer bit-identically to the
+# pointer descent on arbitrary rule sets and packets). A short -fuzztime
+# keeps CI fast; long runs are for dedicated fuzzing sessions.
 FUZZ_TIME ?= 5s
 
-.PHONY: build test vet lint race apdebug bench-smoke bench-churn cover checkpoint-smoke fuzz-smoke check
+# bench-flat's -dur: long enough for stable per-network Mqps columns at
+# small scale, short enough for CI.
+FLAT_DUR := 100ms
+
+.PHONY: build test vet lint race apdebug bench-smoke bench-churn bench-flat cover checkpoint-smoke fuzz-smoke check
 
 build:
 	$(GO) build ./...
@@ -78,6 +84,13 @@ bench-smoke:
 bench-churn:
 	$(GO) run ./cmd/apbench -scale small -run churn -dur $(CHURN_DUR)
 
+# Flat-engine smoke: the compiled array classifier vs the pointer descent
+# on both networks at small scale. A non-regression gate (the flat core
+# must compile for every dataset and the experiment must run end to end);
+# recorded numbers live in EXPERIMENTS.md.
+bench-flat:
+	$(GO) run ./cmd/apbench -scale small -run flat -dur $(FLAT_DUR)
+
 # Save → restore → verify through the real binaries: apstate writes a
 # checkpoint for every generator, then fully decodes and self-checks it.
 # This is the end-to-end durability gate (the unit tests cover the codec;
@@ -96,6 +109,7 @@ checkpoint-smoke:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzLoad$$' -fuzztime $(FUZZ_TIME) ./internal/bdd
 	$(GO) test -run '^$$' -fuzz '^FuzzCheckpointDecode$$' -fuzztime $(FUZZ_TIME) ./internal/checkpoint
+	$(GO) test -run '^$$' -fuzz '^FuzzFlatVsPointer$$' -fuzztime $(FUZZ_TIME) .
 
 cover:
 	$(GO) test -coverprofile=$(COVER_OUT) $(COVER_PKG)
@@ -104,5 +118,5 @@ cover:
 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit !(t+0 >= f+0) }' || \
 		{ echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
 
-check: build vet test lint race apdebug bench-smoke bench-churn checkpoint-smoke fuzz-smoke cover
+check: build vet test lint race apdebug bench-smoke bench-churn bench-flat checkpoint-smoke fuzz-smoke cover
 	@echo "all gates passed"

@@ -28,6 +28,7 @@ package apclassifier
 
 import (
 	"fmt"
+	"os"
 	"sync/atomic"
 
 	"apclassifier/internal/aptree"
@@ -180,6 +181,9 @@ func New(ds *netgen.Dataset, opts Options) (*Classifier, error) {
 		d.GC()
 	}
 	c.Manager = aptree.NewManagerWith(d, reg, tree, opts.Method)
+	if flatDisabledByEnv() {
+		c.Manager.SetFlatCompile(false)
+	}
 
 	// Topology.
 	c.Net = network.New()
@@ -206,6 +210,12 @@ func New(ds *netgen.Dataset, opts Options) (*Classifier, error) {
 	c.env = &network.Env{Source: c.Manager}
 	return c, nil
 }
+
+// flatDisabledByEnv reports the APC_FLAT=0 escape hatch: operators set it
+// to serve stage 1 from the pointer tree instead of the compiled flat
+// core — the rollback lever if a flat-compile bug ever ships. Read at
+// classifier construction; flip at runtime via Manager.SetFlatCompile.
+func flatDisabledByEnv() bool { return os.Getenv("APC_FLAT") == "0" }
 
 // Env returns the stage-2 environment (classification, liveness); useful
 // for driving network.Behavior directly or attaching middleboxes.

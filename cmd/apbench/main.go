@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	apbench [-scale small|mid|full] [-run all|tableI,fig4,fig9,fig10,mem,fig11,fig12,fig12par,fig13,fig14,fig14par,fig15,tableII,batch,optgap,ruleupdate,churn,scaling]
+//	apbench [-scale small|mid|full] [-run all|tableI,fig4,fig9,fig10,mem,fig11,fig12,fig12par,fig13,fig14,fig14par,fig15,tableII,batch,optgap,ruleupdate,churn,scaling,flat]
 //
 // At -scale full the rule volumes match Table I of the paper (≈126k rules
 // for Internet2, ≈757k + 1,584 ACL rules for Stanford); expect several
@@ -28,7 +28,7 @@ import (
 
 func main() {
 	scaleFlag := flag.String("scale", "", "dataset scale: small, mid (default) or full; overrides APBENCH_SCALE")
-	runFlag := flag.String("run", "all", "comma-separated experiment ids (tableI,fig4,fig9,fig10,mem,fig11,fig12,fig12par,fig13,fig14,fig14par,fig15,tableII,batch,optgap,ruleupdate,churn,scaling) or 'all'")
+	runFlag := flag.String("run", "all", "comma-separated experiment ids (tableI,fig4,fig9,fig10,mem,fig11,fig12,fig12par,fig13,fig14,fig14par,fig15,tableII,batch,optgap,ruleupdate,churn,scaling,flat) or 'all'")
 	dur := flag.Duration("dur", 200*time.Millisecond, "minimum measurement duration per throughput point")
 	trees := flag.Int("trees", 0, "random trees for fig4/fig9/fig10/fig12 (0 = scale default)")
 	batchSize := flag.Int("batch", 0, "measure the batch experiment at this single batch size (0 = 16/64/256 sweep)")
@@ -120,6 +120,9 @@ func main() {
 			sizes = []int{*batchSize}
 		}
 		print(env.BatchThroughput(sizes, 4096, *dur))
+	}
+	if sel("flat") {
+		print(env.FlatVsPointer(4096, *dur))
 	}
 	if sel("optgap") {
 		print(env.OptimalityGap(10, 20))

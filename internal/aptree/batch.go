@@ -57,10 +57,13 @@ func (sc *BatchScratch) prepare(n int) {
 	sc.weight = sc.weight[:n]
 }
 
-// classifyBatch is the shared batch pipeline: collapse duplicates, descend
-// by groups, fan leaves back out, and report per-leaf-group packet totals
-// through visit.
-func classifyBatch(sc *BatchScratch, ev evaluator, preds []bdd.Ref, root *Node, pkts [][]byte, out []*Node, visit func(atom int32, n uint64)) {
+// classifyBatch is the shared batch pipeline around any descent engine:
+// collapse duplicate headers, hand the distinct representatives to search —
+// which descends them and writes their leaves into out — then fan each
+// representative's leaf back out to its duplicates. Both the pointer and
+// the flat engine plug in through search, so the collapse and fanout logic
+// (and its duplicate-weight accounting) exists exactly once.
+func classifyBatch(sc *BatchScratch, pkts [][]byte, out []*Node, search func(idx, tmp, weight []int32)) {
 	if len(out) < len(pkts) {
 		panic("aptree: ClassifyBatch output slice shorter than the batch")
 	}
@@ -85,7 +88,7 @@ func classifyBatch(sc *BatchScratch, ev evaluator, preds []bdd.Ref, root *Node, 
 		sc.weight[rep] = run
 		k += int(run)
 	}
-	descend(ev, preds, root, pkts, sc.idx, sc.tmp, sc.weight, out, visit)
+	search(sc.idx, sc.tmp, sc.weight)
 	// Fan each representative's leaf out to its duplicates: equal headers
 	// are adjacent in order, so one linear pass suffices.
 	rep := sc.order[0]
@@ -154,7 +157,9 @@ func (t *Tree) ClassifyBatchWith(sc *BatchScratch, pkts [][]byte, out []*Node) {
 	if !t.CountVisits {
 		visit = nil
 	}
-	classifyBatch(sc, t.D, t.preds, t.root, pkts, out, visit)
+	classifyBatch(sc, pkts, out, func(idx, tmp, weight []int32) {
+		descend(t.D, t.preds, t.root, pkts, idx, tmp, weight, out, visit)
+	})
 }
 
 // ClassifyBatch runs the batched stage-1 search against this epoch; see
@@ -166,10 +171,29 @@ func (s *Snapshot) ClassifyBatch(pkts [][]byte, out []*Node) {
 
 // ClassifyBatchWith is the epoch-pinned batch search with caller-owned
 // scratch, the allocation-free form used by the facade's batch pipeline.
+// Like single-packet Classify it descends the epoch's compiled flat core
+// when one exists and the pointer tree otherwise, with identical answers
+// and visit accounting either way.
 func (s *Snapshot) ClassifyBatchWith(sc *BatchScratch, pkts [][]byte, out []*Node) {
 	visit := func(atom int32, w uint64) { s.visits.addN(atom, w) }
 	if !s.count {
 		visit = nil
 	}
-	classifyBatch(sc, s.view, s.tree.preds, s.tree.root, pkts, out, visit)
+	classifyBatch(sc, pkts, out, func(idx, tmp, weight []int32) {
+		if f := s.flat; f != nil {
+			s.debugCheckFlat()
+			f.descend(f.root, pkts, idx, tmp, weight, out, visit)
+		} else {
+			descend(s.view, s.tree.preds, s.tree.root, pkts, idx, tmp, weight, out, visit)
+		}
+	})
+}
+
+// ClassifyBatchPointerWith is ClassifyBatchWith forced onto the pointer
+// engine, with no visit accounting — the batched reference the
+// differential suite compares the flat descent against.
+func (s *Snapshot) ClassifyBatchPointerWith(sc *BatchScratch, pkts [][]byte, out []*Node) {
+	classifyBatch(sc, pkts, out, func(idx, tmp, weight []int32) {
+		descend(s.view, s.tree.preds, s.tree.root, pkts, idx, tmp, weight, out, nil)
+	})
 }

@@ -8,3 +8,5 @@ package aptree
 const Debug = false
 
 func (t *Tree) debugCheckPartition() {}
+
+func (s *Snapshot) debugCheckFlat() {}

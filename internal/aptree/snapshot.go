@@ -27,6 +27,11 @@ import (
 type Snapshot struct {
 	tree *Tree
 	view *bdd.View
+	// flat is the cache-packed classify core compiled for this epoch at
+	// publish time, or nil when flat compilation is off (APC_FLAT=0 /
+	// Manager.SetFlatCompile(false)). When present it is the stage-1
+	// engine; the pointer tree stays the reference implementation.
+	flat *Flat
 	// live has bit id set iff predicate id was not tombstoned at capture
 	// time. Out-of-range IDs (added after the capture) read as dead,
 	// which keeps stage 2 consistent with the pinned tree.
@@ -38,11 +43,10 @@ type Snapshot struct {
 	visits visitView
 }
 
-// Classify runs the stage-1 search against this epoch and returns the
-// leaf together with the epoch's version. It takes no lock and does not
-// allocate; node BDDs evaluate through the frozen view, so a writer
+// classifyPointer is the pointer-tree stage-1 walk, visit counting
+// excluded: node BDDs evaluate through the frozen view, so a writer
 // growing the live DD never races with it.
-func (s *Snapshot) Classify(pkt []byte) (*Node, uint64) {
+func (s *Snapshot) classifyPointer(pkt []byte) *Node {
 	n := s.tree.root
 	v := s.view
 	preds := s.tree.preds
@@ -53,11 +57,41 @@ func (s *Snapshot) Classify(pkt []byte) (*Node, uint64) {
 			n = n.F
 		}
 	}
+	return n
+}
+
+// Classify runs the stage-1 search against this epoch and returns the
+// leaf together with the epoch's version. It takes no lock and does not
+// allocate. When the epoch carries a compiled flat core the descent runs
+// over it; otherwise (flat compilation disabled) the pointer tree is
+// walked directly. Either way the answer and the visit accounting are
+// identical.
+func (s *Snapshot) Classify(pkt []byte) (*Node, uint64) {
+	var n *Node
+	if f := s.flat; f != nil {
+		s.debugCheckFlat()
+		n = f.Classify(pkt)
+	} else {
+		n = s.classifyPointer(pkt)
+	}
 	if s.count {
 		s.visits.add(n.AtomID)
 	}
 	return n, s.version
 }
+
+// ClassifyPointer runs stage 1 through the pointer tree regardless of
+// whether a flat core was compiled — the reference engine the
+// differential fuzz and churn suites pit the flat form against. It does
+// no visit accounting, so differential probing never skews the §V-D
+// distribution statistics.
+func (s *Snapshot) ClassifyPointer(pkt []byte) (*Node, uint64) {
+	return s.classifyPointer(pkt), s.version
+}
+
+// Flat returns the epoch's compiled flat classify core, or nil when flat
+// compilation was disabled at publish time.
+func (s *Snapshot) Flat() *Flat { return s.flat }
 
 // IsLive reports whether predicate id was live in this epoch.
 func (s *Snapshot) IsLive(id int32) bool { return s.live.Get(int(id)) }

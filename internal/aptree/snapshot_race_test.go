@@ -93,6 +93,14 @@ func TestSnapshotPinnedEpochUnderChurn(t *testing.T) {
 						t.Error("pinned snapshot changed its answer between passes")
 						return
 					}
+					// The epoch's flat core and pointer tree must agree from
+					// any goroutine, under every interleaving of publishes:
+					// the flat form is compiled inside the same critical
+					// section that captured the snapshot.
+					if leaf, _ := s.ClassifyPointer(pkt); leaf != first[j] {
+						t.Error("pointer engine disagrees with the pinned epoch's flat answer")
+						return
+					}
 				}
 				select {
 				case <-done:

@@ -52,3 +52,9 @@ func deltaLeafDiff(m *aptree.Manager) int {
 	b := m.Snapshot() // second pin to diff the delta's epochs
 	return b.Tree().NumLeaves() - a.Tree().NumLeaves()
 }
+
+func flatDiffAcrossEpochs(m *aptree.Manager, pkt header.Packet) bool {
+	f := m.Snapshot().Flat()
+	p, _ := m.Snapshot().ClassifyPointer(pkt) // re-pins: compares engines across epochs
+	return f.Classify(pkt) == p
+}

@@ -39,3 +39,13 @@ func deltaThenPin(m *aptree.Manager) (int, uint64) {
 	s := m.Snapshot()
 	return s.Tree().NumLeaves(), s.Version()
 }
+
+// The flat-builder idiom: one pin serves both engines, so a differential
+// probe compares the flat core against the pointer tree of the same
+// epoch — never across a concurrent publish.
+func flatDiffOnePin(m *aptree.Manager, pkt header.Packet) bool {
+	s := m.Snapshot()
+	f := s.Flat()
+	p, _ := s.ClassifyPointer(pkt)
+	return f.Classify(pkt) == p
+}

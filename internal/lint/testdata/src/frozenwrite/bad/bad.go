@@ -35,3 +35,7 @@ func renumberLeafInPlace(s *aptree.Snapshot, pkt []byte) {
 func deltaOnPublishedTree(s *aptree.Snapshot) {
 	s.Tree().RemovePredicate(3) // deltas go through Manager.Update, not the published tree
 }
+
+func renumberViaFlat(s *aptree.Snapshot, pkt []byte) {
+	s.Flat().Classify(pkt).AtomID = 3 // the flat core serves the same frozen leaves
+}

@@ -43,3 +43,13 @@ func copyOnWriteLeaf(s *aptree.Snapshot, pkt []byte) *aptree.Node {
 	nn.AtomID = leaf.AtomID + 1
 	return nn
 }
+
+// The flat-builder idiom: the compiled core hanging off a snapshot is as
+// frozen as the tree it mirrors — reads of any depth are fine, and its
+// stats are a value copy the caller owns.
+func flatReadOnly(s *aptree.Snapshot, pkt []byte) (int32, int) {
+	leaf := s.Flat().Classify(pkt)
+	st := s.Flat().Stats()
+	st.Nodes++ // value copy: mutating it cannot reach the snapshot
+	return leaf.AtomID, st.Nodes
+}

@@ -54,6 +54,14 @@ func (c *Classifier) RegisterMetrics(reg *obs.Registry) {
 	reg.GaugeFunc("apc_bdd_live_mem_bytes",
 		"Estimated bytes of live BDD state in the published epoch.",
 		func() float64 { return float64(m.Snapshot().View().LiveMemBytes()) })
+	reg.GaugeFunc("apc_flat_enabled",
+		"Whether the published epoch carries a compiled flat classify core (0 when disabled via APC_FLAT=0 or SetFlatCompile).",
+		func() float64 {
+			if m.Snapshot().Flat() != nil {
+				return 1
+			}
+			return 0
+		})
 }
 
 // traceQuery runs one pinned two-stage query with stage timing and
