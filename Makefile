@@ -7,7 +7,7 @@ GO ?= go
 # detector (snapshot query path at the facade, Manager two-process
 # operation, frozen BDD views, HTTP server, background checkpointer,
 # experiment harness workers).
-RACE_PKGS := . ./internal/aptree ./internal/bdd ./internal/server ./internal/checkpoint ./internal/experiments ./internal/lint
+RACE_PKGS := . ./internal/aptree ./internal/bdd ./internal/server ./internal/checkpoint ./internal/cluster ./internal/experiments ./internal/lint
 
 # Packages carrying apdebug-tagged sanitizer tests (post-GC BDD audits,
 # AP Tree leaf-partition checks, behavior-cache epoch assertions at the
@@ -51,7 +51,7 @@ FUZZ_TIME ?= 5s
 # small scale, short enough for CI.
 FLAT_DUR := 100ms
 
-.PHONY: build test vet lint race apdebug bench-smoke bench-churn bench-flat cover checkpoint-smoke fuzz-smoke check
+.PHONY: build test vet lint race apdebug bench-smoke bench-churn bench-flat cover checkpoint-smoke cluster-smoke fuzz-smoke check
 
 build:
 	$(GO) build ./...
@@ -106,6 +106,15 @@ checkpoint-smoke:
 	$(GO) run ./cmd/apstate verify $(SMOKE_DIR)/multitenant.apc
 	rm -rf $(SMOKE_DIR)
 
+# Cluster smoke: the real apserver and aprouter binaries as a 2-shard
+# fleet — differential queries against an unsharded oracle, churn fan-out
+# through the router, and a SIGTERM restart of one worker with warm
+# restore from its final checkpoint. The in-process differential suite
+# runs under plain `make test`; this gate covers the process boundary
+# (flags, signals, checkpoint files, real sockets).
+cluster-smoke:
+	$(GO) test ./internal/cluster -run '^TestClusterProcessSmoke$$' -count=1 -v
+
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzLoad$$' -fuzztime $(FUZZ_TIME) ./internal/bdd
 	$(GO) test -run '^$$' -fuzz '^FuzzCheckpointDecode$$' -fuzztime $(FUZZ_TIME) ./internal/checkpoint
@@ -118,5 +127,5 @@ cover:
 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit !(t+0 >= f+0) }' || \
 		{ echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
 
-check: build vet test lint race apdebug bench-smoke bench-churn bench-flat checkpoint-smoke fuzz-smoke cover
+check: build vet test lint race apdebug bench-smoke bench-churn bench-flat checkpoint-smoke cluster-smoke fuzz-smoke cover
 	@echo "all gates passed"

@@ -29,6 +29,7 @@ package apclassifier
 import (
 	"fmt"
 	"os"
+	"sort"
 	"sync/atomic"
 
 	"apclassifier/internal/aptree"
@@ -146,8 +147,16 @@ func New(ds *netgen.Dataset, opts Options) (*Classifier, error) {
 	var aclRefs []aclRef
 	for bi := range ds.Boxes {
 		box := &ds.Boxes[bi]
-		for pi, acl := range box.PortACL {
-			p := predicate.ACLPredicate(d, ds.Layout, acl)
+		// Sorted port order, not map order: predicate registry IDs fix the
+		// atom numbering, and a sharded fleet (internal/cluster) relies on
+		// independent builds of one dataset agreeing bit for bit.
+		ports := make([]int, 0, len(box.PortACL))
+		for pi := range box.PortACL {
+			ports = append(ports, pi)
+		}
+		sort.Ints(ports)
+		for _, pi := range ports {
+			p := predicate.ACLPredicate(d, ds.Layout, box.PortACL[pi])
 			d.Retain(p)
 			aclRefs = append(aclRefs, aclRef{bi, pi, reg.Add(p)})
 		}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	apbench [-scale small|mid|full] [-run all|tableI,fig4,fig9,fig10,mem,fig11,fig12,fig12par,fig13,fig14,fig14par,fig15,tableII,batch,optgap,ruleupdate,churn,scaling,flat]
+//	apbench [-scale small|mid|full] [-run all|tableI,fig4,fig9,fig10,mem,fig11,fig12,fig12par,fig13,fig14,fig14par,fig15,tableII,batch,optgap,ruleupdate,churn,scaling,flat,cluster]
 //
 // At -scale full the rule volumes match Table I of the paper (≈126k rules
 // for Internet2, ≈757k + 1,584 ACL rules for Stanford); expect several
@@ -28,7 +28,7 @@ import (
 
 func main() {
 	scaleFlag := flag.String("scale", "", "dataset scale: small, mid (default) or full; overrides APBENCH_SCALE")
-	runFlag := flag.String("run", "all", "comma-separated experiment ids (tableI,fig4,fig9,fig10,mem,fig11,fig12,fig12par,fig13,fig14,fig14par,fig15,tableII,batch,optgap,ruleupdate,churn,scaling,flat) or 'all'")
+	runFlag := flag.String("run", "all", "comma-separated experiment ids (tableI,fig4,fig9,fig10,mem,fig11,fig12,fig12par,fig13,fig14,fig14par,fig15,tableII,batch,optgap,ruleupdate,churn,scaling,flat,cluster) or 'all'")
 	dur := flag.Duration("dur", 200*time.Millisecond, "minimum measurement duration per throughput point")
 	trees := flag.Int("trees", 0, "random trees for fig4/fig9/fig10/fig12 (0 = scale default)")
 	batchSize := flag.Int("batch", 0, "measure the batch experiment at this single batch size (0 = 16/64/256 sweep)")
@@ -139,6 +139,9 @@ func main() {
 			scales = append(scales, 1.0)
 		}
 		print(env.Scaling(scales, 256, *dur))
+	}
+	if sel("cluster") {
+		print(env.ClusterThroughput([]int{1, 2, 4, 8}, 256, 4, 5**dur))
 	}
 
 	if *metrics != "" {

@@ -1,0 +1,90 @@
+// Command aprouter is the fan-out front door of a sharded apserver
+// fleet (see README "Cluster mode" and DESIGN §12). It splits
+// /query/batch by the header-space shard key, forwards with bounded
+// per-shard concurrency and retry-on-next-epoch, merges answers back
+// into input order, and replicates /rules/batch to every shard. The
+// router holds no classifier state, so any number of replicas can
+// front the same fleet.
+//
+//	apserver -net internet2 -shard 0/2 -listen :8081 &
+//	apserver -net internet2 -shard 1/2 -listen :8082 &
+//	aprouter -shards http://localhost:8081,http://localhost:8082 -listen :8080
+//	curl -s -X POST localhost:8080/query -d '{"ingress":"seattle","dst":"10.1.2.3"}'
+//	curl -s localhost:8080/healthz        # fleet readiness + seq/epoch skew
+//	curl -s localhost:8080/metrics        # apc_router_* series
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"apclassifier/internal/cluster"
+)
+
+func main() {
+	shards := flag.String("shards", "", "comma-separated worker base URLs; position k is shard k/N")
+	mode := flag.String("shard-mode", "header", "partition function: header (5-tuple hash) or ingress (ingress-box hash); must match the workers")
+	listen := flag.String("listen", ":8080", "listen address")
+	concurrency := flag.Int("shard-concurrency", 4, "max in-flight sub-requests per shard")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-attempt forwarding timeout")
+	retries := flag.Int("retries", 6, "retry budget per idempotent sub-request")
+	flag.Parse()
+
+	m, err := cluster.ParseMode(*mode)
+	if err != nil {
+		fatal(err)
+	}
+	var urls []string
+	for _, u := range strings.Split(*shards, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	router, err := cluster.NewRouter(cluster.Config{
+		Shards:           urls,
+		Mode:             m,
+		ShardConcurrency: *concurrency,
+		Timeout:          *timeout,
+		Retries:          *retries,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	router.Start()
+	defer router.Stop()
+
+	fmt.Printf("routing %d shards (%s partition) on %s\n", len(urls), m, *listen)
+	srv := &http.Server{
+		Addr:              *listen,
+		Handler:           router.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case got := <-sig:
+		fmt.Printf("\nreceived %s; draining\n", got)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		// The router is stateless; the grace period only lets in-flight
+		// fan-outs finish.
+		_ = srv.Shutdown(ctx)
+		cancel()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "aprouter:", err)
+	os.Exit(1)
+}

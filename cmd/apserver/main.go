@@ -24,6 +24,18 @@
 //	curl -s localhost:8080/metrics        # Prometheus text exposition
 //	curl -s localhost:8080/debug/trace?n=8 # last 8 per-query stage traces
 //	go tool pprof localhost:8080/debug/pprof/profile
+//
+// Cluster mode (see README "Cluster mode" and DESIGN §12): run N workers
+// with -shard k/N behind cmd/aprouter. A worker refuses queries outside
+// its header-space slice (421), reports readiness on /healthz, and on
+// SIGTERM drains in-flight requests before writing its final checkpoint.
+// -bootstrap-from pulls a sibling's newest checkpoint so a joining
+// worker warm-restores instead of rebuilding from rules:
+//
+//	apserver -net internet2 -shard 0/2 -listen :8081 -checkpoint-dir /var/lib/apc0
+//	apserver -net internet2 -shard 1/2 -listen :8082 -checkpoint-dir /var/lib/apc1 \
+//	    -bootstrap-from http://localhost:8081
+//	aprouter -shards http://localhost:8081,http://localhost:8082 -listen :8080
 package main
 
 import (
@@ -31,14 +43,17 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"apclassifier"
 	"apclassifier/internal/checkpoint"
+	"apclassifier/internal/cluster"
 	"apclassifier/internal/netgen"
 	"apclassifier/internal/server"
 )
@@ -53,12 +68,46 @@ func main() {
 	ckptInterval := flag.Duration("checkpoint-interval", 30*time.Second, "periodic checkpoint cadence (0 = only update-triggered)")
 	ckptKeep := flag.Int("checkpoint-keep", 3, "checkpoint generations to retain")
 	restore := flag.Bool("restore", false, "warm-restart from the newest checkpoint in -checkpoint-dir")
+	shardSpec := flag.String("shard", "", "serve one shard of a cluster partition, as \"k/N\" (empty = unsharded)")
+	shardMode := flag.String("shard-mode", "header", "partition function: header (5-tuple hash) or ingress (ingress-box hash)")
+	bootstrapFrom := flag.String("bootstrap-from", "", "peer apserver base URL to fetch the newest checkpoint from before starting (requires -checkpoint-dir)")
+	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "grace period for in-flight requests on SIGTERM before the final checkpoint")
 	flag.Parse()
+
+	var part cluster.Partition
+	if *shardSpec != "" {
+		mode, err := cluster.ParseMode(*shardMode)
+		if err != nil {
+			fatal(err)
+		}
+		if part, err = cluster.ParseShard(*shardSpec, mode); err != nil {
+			fatal(err)
+		}
+	}
 
 	var dir *checkpoint.Dir
 	if *ckptDir != "" {
 		var err error
 		if dir, err = checkpoint.Open(*ckptDir, *ckptKeep); err != nil {
+			fatal(err)
+		}
+	}
+
+	// Peer bootstrap: pull the sibling's newest checkpoint into our own
+	// directory, then take the warm-restore path below as if we had saved
+	// it ourselves. A peer with no checkpoint yet (404) is not an error —
+	// the fleet's first worker always builds cold.
+	if *bootstrapFrom != "" {
+		if dir == nil {
+			fatal(errors.New("-bootstrap-from requires -checkpoint-dir"))
+		}
+		switch path, err := bootstrap(dir, *bootstrapFrom); {
+		case err == nil:
+			fmt.Printf("bootstrapped checkpoint from %s: %s\n", *bootstrapFrom, path)
+			*restore = true
+		case errors.Is(err, os.ErrNotExist):
+			fmt.Printf("peer %s has no checkpoint yet; building cold\n", *bootstrapFrom)
+		default:
 			fatal(err)
 		}
 	}
@@ -101,6 +150,10 @@ func main() {
 	}
 
 	s := server.New(c)
+	if part.Enabled() {
+		s.SetPartition(part)
+		fmt.Printf("serving shard %s (%s partition)\n", part, part.Mode)
+	}
 	var runner *checkpoint.Runner
 	if dir != nil {
 		runner = s.EnableCheckpoints(dir, checkpoint.RunnerConfig{
@@ -125,8 +178,13 @@ func main() {
 	case err := <-errCh:
 		fatal(err)
 	case got := <-sig:
-		fmt.Printf("\nreceived %s; shutting down\n", got)
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		fmt.Printf("\nreceived %s; draining\n", got)
+		// Drain order matters: flip /healthz to not-ready first so the
+		// router stops routing here, then let in-flight requests finish,
+		// and only then write the final checkpoint — so the checkpoint
+		// includes every update acknowledged before the listener closed.
+		s.StartDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		// In-flight requests get the grace period; a timeout just means we
 		// proceed to the final checkpoint with whatever state is published.
 		_ = srv.Shutdown(ctx)
@@ -137,6 +195,28 @@ func main() {
 				fmt.Printf("final checkpoint: %s (restart with -restore to resume)\n", latest)
 			}
 		}
+	}
+}
+
+// bootstrap fetches a peer's newest checkpoint and commits it into dir.
+// A peer reporting 404 (no checkpoint committed yet) maps onto
+// os.ErrNotExist so the caller can fall back to a cold build.
+func bootstrap(dir *checkpoint.Dir, baseURL string) (string, error) {
+	url := strings.TrimRight(baseURL, "/") + "/checkpoint/latest"
+	client := &http.Client{Timeout: 2 * time.Minute}
+	resp, err := client.Get(url)
+	if err != nil {
+		return "", fmt.Errorf("bootstrap: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return dir.Ingest(resp.Body)
+	case http.StatusNotFound:
+		return "", fmt.Errorf("bootstrap: peer has no checkpoint: %w", os.ErrNotExist)
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return "", fmt.Errorf("bootstrap: %s: %s: %s", url, resp.Status, strings.TrimSpace(string(msg)))
 	}
 }
 

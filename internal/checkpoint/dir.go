@@ -3,8 +3,10 @@ package checkpoint
 import (
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -60,26 +62,67 @@ func (d *Dir) Checkpoints() []string {
 	return out
 }
 
+// loadManifestLocked rebuilds the entry list from the MANIFEST, then
+// reconciles it against a directory scan. The manifest is the intent
+// log, but it is not load-bearing for recovery: if it is missing,
+// truncated, or lists files that are gone, every well-formed ckpt-*.apc
+// actually on disk is adopted (in name order, which is seq order — the
+// names are zero-padded), so the newest-first restore fallback still
+// reaches every surviving checkpoint. A garbage manifest line is
+// dropped rather than trusted; whether each adopted file is intact is
+// Restore's job, which decodes newest-first past corruption.
 func (d *Dir) loadManifestLocked() error {
+	seen := make(map[string]bool)
 	b, err := os.ReadFile(filepath.Join(d.path, manifestName))
-	if errors.Is(err, os.ErrNotExist) {
-		return nil
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
 	}
+	if err == nil {
+		for _, line := range strings.Split(string(b), "\n") {
+			line = strings.TrimSpace(line)
+			if seqOf(line) < 0 || seen[line] {
+				continue // garbage or truncated line, or duplicate
+			}
+			seen[line] = true
+			d.entries = append(d.entries, line)
+		}
+	}
+	// Scan for committed checkpoints the manifest does not know: the
+	// manifest itself may have been lost, or a crash between a file
+	// rename and the manifest rewrite left an orphan. Both are complete,
+	// synced files — adopt them.
+	names, err := os.ReadDir(d.path)
 	if err != nil {
 		return err
 	}
-	for _, line := range strings.Split(string(b), "\n") {
-		line = strings.TrimSpace(line)
-		if line == "" {
-			continue
+	adopted := false
+	for _, de := range names {
+		if name := de.Name(); !de.IsDir() && seqOf(name) >= 0 && !seen[name] {
+			seen[name] = true
+			d.entries = append(d.entries, name)
+			adopted = true
 		}
-		d.entries = append(d.entries, line)
-		var n int
-		if _, err := fmt.Sscanf(line, "ckpt-%08d.apc", &n); err == nil && n >= d.seq {
+	}
+	if adopted {
+		// Zero-padded names sort lexicographically in seq order.
+		sort.Strings(d.entries)
+	}
+	for _, name := range d.entries {
+		if n := seqOf(name); n >= d.seq {
 			d.seq = n + 1
 		}
 	}
 	return nil
+}
+
+// seqOf parses a checkpoint filename, returning its sequence number or
+// -1 when the name is not a well-formed ckpt-%08d.apc.
+func seqOf(name string) int {
+	var n int
+	if _, err := fmt.Sscanf(name, "ckpt-%08d.apc", &n); err != nil || name != fmt.Sprintf("ckpt-%08d.apc", n) {
+		return -1
+	}
+	return n
 }
 
 // Save encodes src into a new checkpoint file with the atomic-write
@@ -104,7 +147,6 @@ func (d *Dir) Save(src *Source) (string, error) {
 }
 
 func (d *Dir) saveLocked(src *Source) (string, int64, error) {
-	name := fmt.Sprintf("ckpt-%08d.apc", d.seq)
 	tmp, err := os.CreateTemp(d.path, ".tmp-ckpt-*")
 	if err != nil {
 		return "", 0, err
@@ -131,19 +173,28 @@ func (d *Dir) saveLocked(src *Source) (string, int64, error) {
 		_ = os.Remove(tmpName)
 		return "", 0, err
 	}
+	final, err := d.commitLocked(tmpName)
+	if err != nil {
+		return "", 0, err
+	}
+	return final, st.Size(), nil
+}
+
+// commitLocked promotes a synced temp file into the next committed
+// checkpoint: rename, directory fsync, manifest rewrite, prune. The
+// manifest is rewritten before anything it used to reference is
+// deleted: a crash between the two steps leaves orphan files (which
+// the Open-time directory scan re-adopts), never dangling entries.
+func (d *Dir) commitLocked(tmpName string) (string, error) {
+	name := fmt.Sprintf("ckpt-%08d.apc", d.seq)
 	final := filepath.Join(d.path, name)
 	if err := os.Rename(tmpName, final); err != nil {
 		_ = os.Remove(tmpName)
-		return "", 0, err
+		return "", err
 	}
 	if err := syncDir(d.path); err != nil {
-		return "", 0, err
+		return "", err
 	}
-
-	// Commit to the manifest before deleting anything it used to
-	// reference: a crash between the two steps leaves orphan files (GC'd
-	// by the next prune cycle's filesystem scan being unnecessary — they
-	// simply age out of the directory listing), never dangling entries.
 	d.seq++
 	d.entries = append(d.entries, name)
 	var pruned []string
@@ -152,14 +203,52 @@ func (d *Dir) saveLocked(src *Source) (string, int64, error) {
 		d.entries = d.entries[1:]
 	}
 	if err := d.writeManifestLocked(); err != nil {
-		return "", 0, err
+		return "", err
 	}
 	for _, old := range pruned {
 		if err := os.Remove(filepath.Join(d.path, old)); err != nil && !errors.Is(err, os.ErrNotExist) {
-			return "", 0, err
+			return "", err
 		}
 	}
-	return final, st.Size(), nil
+	return final, nil
+}
+
+// Ingest commits checkpoint bytes fetched from elsewhere — a peer
+// worker's GET /checkpoint/latest during cluster bootstrap — as this
+// directory's next checkpoint, after fully decoding the bytes to prove
+// they are an intact checkpoint (a truncated transfer must not become
+// the newest entry the next restore trusts first). The committed path
+// is returned; Restore and Latest see it like any saved checkpoint.
+func (d *Dir) Ingest(r io.Reader) (string, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	tmp, err := os.CreateTemp(d.path, ".tmp-ckpt-*")
+	if err != nil {
+		return "", err
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) (string, error) {
+		_ = tmp.Close()
+		_ = os.Remove(tmpName)
+		return "", err
+	}
+	if _, err := io.Copy(tmp, r); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if _, err := tmp.Seek(0, io.SeekStart); err != nil {
+		return fail(err)
+	}
+	if _, err := Decode(tmp); err != nil {
+		return fail(fmt.Errorf("checkpoint: ingest rejected: %w", err))
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmpName)
+		return "", err
+	}
+	return d.commitLocked(tmpName)
 }
 
 func (d *Dir) writeManifestLocked() error {

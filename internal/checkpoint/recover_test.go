@@ -1,0 +1,163 @@
+package checkpoint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestOpenRecoversWithoutManifest deletes the MANIFEST outright: the
+// directory scan must re-adopt every committed checkpoint, newest last,
+// and the next save must not collide with an adopted name.
+func TestOpenRecoversWithoutManifest(t *testing.T) {
+	_, src := testSource(t, 41)
+	path := t.TempDir()
+	d1, err := Open(path, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var saved []string
+	for i := 0; i < 3; i++ {
+		p, err := d1.Save(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		saved = append(saved, p)
+	}
+	if err := os.Remove(filepath.Join(path, manifestName)); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := Open(path, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := d2.Checkpoints()
+	if len(got) != len(saved) {
+		t.Fatalf("recovered %d checkpoints, want %d: %v", len(got), len(saved), got)
+	}
+	for i := range saved {
+		if got[i] != saved[i] {
+			t.Fatalf("recovered order %v, want %v", got, saved)
+		}
+	}
+	latest, err := d2.Latest()
+	if err != nil || latest != saved[2] {
+		t.Fatalf("Latest = %q, %v; want %q", latest, err, saved[2])
+	}
+	if _, err := d2.Restore(); err != nil {
+		t.Fatalf("restore after manifest loss: %v", err)
+	}
+	next, err := d2.Save(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range saved {
+		if next == p {
+			t.Fatalf("post-recovery save reused name %s", next)
+		}
+	}
+}
+
+// TestOpenRecoversTruncatedManifest feeds Open a manifest whose tail was
+// lost mid-write (one intact line, one truncated, trailing garbage).
+// The garbage must be dropped, not trusted, and the scan must still
+// surface every well-formed checkpoint file on disk.
+func TestOpenRecoversTruncatedManifest(t *testing.T) {
+	_, src := testSource(t, 43)
+	path := t.TempDir()
+	d1, err := Open(path, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var saved []string
+	for i := 0; i < 2; i++ {
+		p, err := d1.Save(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		saved = append(saved, p)
+	}
+	mangled := filepath.Base(saved[0]) + "\nckpt-000000" + "\n\x00\x00garbage line\n"
+	if err := os.WriteFile(filepath.Join(path, manifestName), []byte(mangled), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := Open(path, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := d2.Checkpoints()
+	if len(got) != 2 || got[0] != saved[0] || got[1] != saved[1] {
+		t.Fatalf("recovered %v, want %v", got, saved)
+	}
+	for _, p := range got {
+		if strings.Contains(p, "garbage") || strings.HasSuffix(p, "ckpt-000000") {
+			t.Fatalf("garbage manifest line adopted: %v", got)
+		}
+	}
+	res, err := d2.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epoch != src.Snap.Version() {
+		t.Fatal("recovered restore landed on the wrong state")
+	}
+}
+
+// TestIngest round-trips a checkpoint through the peer-bootstrap path:
+// bytes from one directory's newest file committed into another, then
+// restored. A truncated transfer must be rejected before commit.
+func TestIngest(t *testing.T) {
+	_, src := testSource(t, 47)
+	dirA, err := Open(t.TempDir(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := dirA.Save(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dirB, err := Open(t.TempDir(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed, err := dirB.Ingest(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dirB.Checkpoints(); len(got) != 1 || got[0] != committed {
+		t.Fatalf("ingest committed %v, want [%s]", got, committed)
+	}
+	res, err := dirB.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epoch != src.Snap.Version() {
+		t.Fatal("ingested checkpoint restored the wrong state")
+	}
+
+	// A truncated transfer decodes short and must not become an entry.
+	if _, err := dirB.Ingest(bytes.NewReader(raw[:len(raw)/2])); err == nil {
+		t.Fatal("truncated ingest accepted")
+	}
+	if got := dirB.Checkpoints(); len(got) != 1 {
+		t.Fatalf("failed ingest left %d entries, want 1", len(got))
+	}
+	entries, err := os.ReadDir(dirB.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			t.Fatalf("failed ingest leaked temp file %s", e.Name())
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"apclassifier/internal/rule"
+)
+
+func TestParseShard(t *testing.T) {
+	good := map[string]Partition{
+		"0/1": {Index: 0, Total: 1},
+		"0/2": {Index: 0, Total: 2},
+		"3/4": {Index: 3, Total: 4},
+	}
+	for spec, want := range good {
+		got, err := ParseShard(spec, ModeHeader)
+		if err != nil || got != want {
+			t.Errorf("ParseShard(%q) = %+v, %v; want %+v", spec, got, err, want)
+		}
+	}
+	for _, spec := range []string{"", "1", "2/2", "3/2", "-1/2", "a/b", "1/0", "1/-2"} {
+		if _, err := ParseShard(spec, ModeHeader); err == nil {
+			t.Errorf("ParseShard(%q) accepted", spec)
+		}
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	if m, err := ParseMode("header"); err != nil || m != ModeHeader {
+		t.Fatalf("header: %v, %v", m, err)
+	}
+	if m, err := ParseMode("ingress"); err != nil || m != ModeIngress {
+		t.Fatalf("ingress: %v, %v", m, err)
+	}
+	if _, err := ParseMode("5tuple"); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+}
+
+// TestZeroPartitionOwnsEverything: the zero value is the unsharded
+// configuration — it must never refuse a query.
+func TestZeroPartitionOwnsEverything(t *testing.T) {
+	var p Partition
+	if p.Enabled() {
+		t.Fatal("zero partition is enabled")
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		f := rule.Fields{Dst: rng.Uint32(), Src: rng.Uint32(), Proto: uint8(rng.Intn(256))}
+		if !p.Owns("anybox", f) {
+			t.Fatalf("zero partition refused %+v", f)
+		}
+	}
+}
+
+// TestPartitionCoversAndIsDisjoint: for any total, every query is owned
+// by exactly one shard, and Shard agrees with Owns.
+func TestPartitionCoversAndIsDisjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, total := range []int{1, 2, 3, 4, 8} {
+		for i := 0; i < 200; i++ {
+			f := rule.Fields{
+				Dst: rng.Uint32(), Src: rng.Uint32(),
+				SrcPort: uint16(rng.Intn(65536)), DstPort: uint16(rng.Intn(65536)),
+				Proto: uint8(rng.Intn(256)),
+			}
+			owners := 0
+			for k := 0; k < total; k++ {
+				p := Partition{Mode: ModeHeader, Index: k, Total: total}
+				if p.Owns("box", f) {
+					owners++
+					if p.Shard("box", f) != k {
+						t.Fatalf("Owns/Shard disagree for shard %d/%d", k, total)
+					}
+				}
+			}
+			if owners != 1 {
+				t.Fatalf("total=%d: %d owners for %+v", total, owners, f)
+			}
+		}
+	}
+}
+
+// TestPartitionIsDeterministic: the shard function is a wire contract —
+// the same fields must map to the same shard on every call (router and
+// worker compute it independently).
+func TestPartitionIsDeterministic(t *testing.T) {
+	f := rule.Fields{Dst: 0x0A010203, Src: 0xC0A80001, SrcPort: 443, DstPort: 51234, Proto: 6}
+	want := ShardOf(ModeHeader, 8, "seattle", f)
+	for i := 0; i < 10; i++ {
+		if got := ShardOf(ModeHeader, 8, "seattle", f); got != want {
+			t.Fatalf("call %d: shard %d, want %d", i, got, want)
+		}
+	}
+	// Known-answer pin: FNV-1a over the canonical 13-byte encoding.
+	// Changing this value repartitions live fleets — see hashFields.
+	if h := hashFields(f); h != 0x12b70890864cddd8 {
+		t.Fatalf("hashFields changed: %#x", h)
+	}
+}
+
+// TestHeaderModeSpreadsSkewedIngress: under ModeHeader a single-ingress
+// query stream still spreads across shards; under ModeIngress it pins
+// to one.
+func TestHeaderModeSpreadsSkewedIngress(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const total = 4
+	headerCounts := make([]int, total)
+	ingressCounts := make([]int, total)
+	for i := 0; i < 4000; i++ {
+		f := rule.Fields{Dst: rng.Uint32(), Src: rng.Uint32(), SrcPort: uint16(rng.Intn(65536)), DstPort: uint16(rng.Intn(65536)), Proto: 6}
+		headerCounts[ShardOf(ModeHeader, total, "onlybox", f)]++
+		ingressCounts[ShardOf(ModeIngress, total, "onlybox", f)]++
+	}
+	for k, n := range headerCounts {
+		// Uniform would be 1000 per shard; allow wide slack, reject collapse.
+		if n < 600 || n > 1400 {
+			t.Fatalf("header mode shard %d got %d of 4000 (counts %v)", k, n, headerCounts)
+		}
+	}
+	pinned := 0
+	for _, n := range ingressCounts {
+		if n > 0 {
+			pinned++
+		}
+	}
+	if pinned != 1 {
+		t.Fatalf("ingress mode spread one ingress over %d shards: %v", pinned, ingressCounts)
+	}
+}
+
+func TestParseIPv4(t *testing.T) {
+	good := map[string]uint32{
+		"0.0.0.0":         0,
+		"10.1.2.3":        0x0A010203,
+		"255.255.255.255": 0xFFFFFFFF,
+		"192.168.0.1":     0xC0A80001,
+		"010.001.002.003": 0x0A010203, // leading zeros tolerated, matching the worker parse
+	}
+	for s, want := range good {
+		if got, err := ParseIPv4(s); err != nil || got != want {
+			t.Errorf("ParseIPv4(%q) = %#x, %v; want %#x", s, got, err, want)
+		}
+	}
+	for _, s := range []string{"", "1.2.3", "1.2.3.4.5", "256.0.0.1", "-1.0.0.1", "a.b.c.d", "1..2.3", "1.2.3.4 "} {
+		if _, err := ParseIPv4(s); err == nil {
+			t.Errorf("ParseIPv4(%q) accepted", s)
+		}
+	}
+}

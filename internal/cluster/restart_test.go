@@ -1,0 +1,281 @@
+package cluster_test
+
+// Rolling-restart differential: one worker of a 2-shard fleet is torn
+// down mid-churn (graceful drain → final checkpoint), warm-restored
+// from its own checkpoint directory on the SAME address, and the fleet
+// must come back answering bit-identically to the unsharded oracle —
+// with the router's retry loop spanning the outage and the ?seq=
+// cursor replaying the churn the dead worker missed.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"apclassifier"
+	"apclassifier/internal/checkpoint"
+	"apclassifier/internal/cluster"
+	"apclassifier/internal/netgen"
+	"apclassifier/internal/server"
+)
+
+// restartableWorker is an in-process apserver twin: a server.Server on
+// a real TCP listener with a checkpoint directory, restartable on the
+// same address the router keeps in its shard table.
+type restartableWorker struct {
+	t      *testing.T
+	makeDS func() *netgen.Dataset
+	part   cluster.Partition
+	ckpt   string
+	addr   string
+
+	api    *server.Server
+	srv    *http.Server
+	runner *checkpoint.Runner
+	done   chan struct{}
+}
+
+func (w *restartableWorker) start() {
+	w.t.Helper()
+	dir, err := checkpoint.Open(w.ckpt, 3)
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	c, err := apclassifier.RestoreDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		c, err = apclassifier.New(w.makeDS(), apclassifier.Options{})
+	}
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	w.api = server.New(c)
+	w.api.SetPartition(w.part)
+	w.runner = w.api.EnableCheckpoints(dir, checkpoint.RunnerConfig{
+		OnError: func(err error) { w.t.Errorf("worker %s checkpoint: %v", w.part, err) },
+	})
+	if w.addr == "" {
+		w.addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", w.addr)
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	w.addr = ln.Addr().String()
+	w.srv = &http.Server{Handler: w.api.Handler()}
+	w.done = make(chan struct{})
+	go func(srv *http.Server, done chan struct{}) {
+		defer close(done)
+		_ = srv.Serve(ln)
+	}(w.srv, w.done)
+}
+
+// stop mirrors cmd/apserver's SIGTERM ordering: drain, shut the
+// listener down, then write the final checkpoint.
+func (w *restartableWorker) stop() {
+	w.t.Helper()
+	w.api.StartDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	_ = w.srv.Shutdown(ctx)
+	cancel()
+	<-w.done
+	w.runner.Stop()
+}
+
+func (w *restartableWorker) url() string { return "http://" + w.addr }
+
+func TestRouterRollingRestartDifferential(t *testing.T) {
+	makeDS := func() *netgen.Dataset {
+		return netgen.Internet2Like(netgen.Config{Seed: 71, RuleScale: 0.01})
+	}
+	oracle := startWorker(t, makeDS(), cluster.Partition{})
+	w0 := &restartableWorker{
+		t: t, makeDS: makeDS, ckpt: t.TempDir(),
+		part: cluster.Partition{Mode: cluster.ModeHeader, Index: 0, Total: 2},
+	}
+	w0.start()
+	t.Cleanup(func() { w0.stop() })
+	w1 := startWorker(t, makeDS(), cluster.Partition{Mode: cluster.ModeHeader, Index: 1, Total: 2})
+
+	// Generous retry budget: the warm restore must fit inside the
+	// retry window for queries issued while worker 0 is down.
+	_, router := startRouter(t, cluster.Config{
+		Shards:       []string{w0.url(), w1.URL},
+		Retries:      40,
+		RetryBackoff: 5 * time.Millisecond,
+		Timeout:      5 * time.Second,
+	})
+	ds := makeDS()
+	rng := rand.New(rand.NewSource(101))
+
+	// Warm-up churn + baseline agreement before any restart.
+	assertSameAnswers(t, "pre-restart", oracle.URL, router.URL, buildQueries(ds, rng, 32))
+	applyChurn(t, ds, oracle.URL, router.URL, 0)
+	assertSameAnswers(t, "post-churn", oracle.URL, router.URL, buildQueries(ds, rng, 32))
+
+	// Phase 1 — restart with no churn in flight: a batch launched while
+	// worker 0 is down must be answered once it warm-restores (the retry
+	// loop spans the gap), and since no rules moved, those answers must
+	// already match the oracle bit for bit.
+	w0.stop()
+	qs := buildQueries(ds, rng, 32)
+	qbody, _ := json.Marshal(qs)
+	type result struct {
+		code int
+		body []byte
+	}
+	inFlight := make(chan result, 1)
+	go func() {
+		c, b := postRaw(t, router.URL+"/query/batch", qbody)
+		inFlight <- result{c, b}
+	}()
+	time.Sleep(20 * time.Millisecond) // let the fan-out hit the dead port at least once
+	w0.start()
+	got := <-inFlight
+	if got.code != 200 {
+		t.Fatalf("batch across restart: status %d: %s", got.code, got.body)
+	}
+	so, bo := postRaw(t, oracle.URL+"/query/batch", qbody)
+	if so != 200 {
+		t.Fatalf("oracle batch: %d", so)
+	}
+	var eo, er []json.RawMessage
+	if err := json.Unmarshal(bo, &eo); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(got.body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if len(eo) != len(er) {
+		t.Fatalf("oracle %d answers, router %d", len(eo), len(er))
+	}
+	for i := range eo {
+		if string(eo[i]) != string(er[i]) {
+			t.Fatalf("answer %d diverges across restart for %+v:\n  oracle %s\n  router %s", i, qs[i], eo[i], er[i])
+		}
+	}
+
+	// Phase 2 — churn lands while worker 0 is gone. A fast-fail router
+	// records the partial failure: shard 1 applies, shard 0 is
+	// unreachable, and the fleet is intentionally skewed until the
+	// cursor replay converges it.
+	w0.stop()
+	_, fastRouter := startRouter(t, cluster.Config{
+		Shards:       []string{w0.url(), w1.URL},
+		Retries:      1,
+		RetryBackoff: time.Millisecond,
+		Timeout:      time.Second,
+	})
+	body, _ := json.Marshal(churnBatch(ds, 1))
+	if code, resp := postRaw(t, oracle.URL+"/rules/batch?seq=2", body); code != 200 {
+		t.Fatalf("oracle churn: %d %s", code, resp)
+	}
+	code, resp := postRaw(t, fastRouter.URL+"/rules/batch?seq=2", body)
+	if code != http.StatusBadGateway {
+		t.Fatalf("churn with a dead shard: status %d, want 502: %s", code, resp)
+	}
+	var partial cluster.RulesFanoutResponse
+	if err := json.Unmarshal(resp, &partial); err != nil {
+		t.Fatal(err)
+	}
+	if partial.Shards[0].Error == "" || partial.Shards[1].Error != "" || !partial.Shards[1].Applied {
+		t.Fatalf("partial failure shape wrong: %+v", partial)
+	}
+
+	// Bring worker 0 back and replay the missed churn with the same
+	// cursor: the restored worker applies it (its checkpointed cursor
+	// predates it), worker 1 acks without re-applying, and the fleet
+	// converges.
+	w0.start()
+	code, resp = postRaw(t, router.URL+"/rules/batch?seq=2", body)
+	if code != 200 {
+		t.Fatalf("churn replay: status %d: %s", code, resp)
+	}
+	var replay cluster.RulesFanoutResponse
+	if err := json.Unmarshal(resp, &replay); err != nil {
+		t.Fatal(err)
+	}
+	if !replay.Shards[0].Applied || replay.Shards[1].Applied {
+		t.Fatalf("replay must apply on the restarted shard only: %+v", replay)
+	}
+	if replay.Seq != 2 {
+		t.Fatalf("fleet cursor %d after replay, want 2", replay.Seq)
+	}
+
+	// Converged again: fresh rounds stay bit-identical through more churn.
+	assertSameAnswers(t, "post-restart", oracle.URL, router.URL, buildQueries(ds, rng, 32))
+	for step := 2; step < 4; step++ {
+		applyChurn(t, ds, oracle.URL, router.URL, step)
+		assertSameAnswers(t, fmt.Sprintf("post-restart step %d", step), oracle.URL, router.URL, buildQueries(ds, rng, 32))
+	}
+}
+
+// TestWorkerBootstrapFromPeer: a joining worker ingests a sibling's
+// /checkpoint/latest and warm-restores into the same published state —
+// the cmd/apserver -bootstrap-from path, minus the process boundary.
+func TestWorkerBootstrapFromPeer(t *testing.T) {
+	ds := netgen.Internet2Like(netgen.Config{Seed: 71, RuleScale: 0.01})
+	c, err := apclassifier.New(ds, apclassifier.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := server.New(c)
+	dir, err := checkpoint.Open(t.TempDir(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := s.EnableCheckpoints(dir, checkpoint.RunnerConfig{})
+	defer runner.Stop()
+	peer := httptest.NewServer(s.Handler())
+	defer peer.Close()
+
+	// Churn the peer, then force a checkpoint capturing cursor + epoch.
+	body, _ := json.Marshal(churnBatch(ds, 0))
+	if code, resp := postRaw(t, peer.URL+"/rules/batch?seq=3", body); code != 200 {
+		t.Fatalf("peer churn: %d %s", code, resp)
+	}
+	if code, resp := postRaw(t, peer.URL+"/checkpoint", nil); code != 200 {
+		t.Fatalf("forced checkpoint: %d %s", code, resp)
+	}
+
+	resp, err := http.Get(peer.URL + "/checkpoint/latest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET /checkpoint/latest: status %d", resp.StatusCode)
+	}
+	joinDir, err := checkpoint.Open(t.TempDir(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := joinDir.Ingest(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	joined, err := apclassifier.RestoreDir(joinDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joined.DeltaSeq() != 3 {
+		t.Fatalf("bootstrapped cursor %d, want 3", joined.DeltaSeq())
+	}
+	if joined.NumPredicates() != c.NumPredicates() || joined.Manager.Version() != c.Manager.Version() {
+		t.Fatalf("bootstrapped %d preds @ epoch %d, peer %d @ %d",
+			joined.NumPredicates(), joined.Manager.Version(), c.NumPredicates(), c.Manager.Version())
+	}
+
+	// The bootstrapped worker answers like its donor, byte for byte.
+	js := server.New(joined)
+	joinedTS := httptest.NewServer(js.Handler())
+	defer joinedTS.Close()
+	rng := rand.New(rand.NewSource(7))
+	assertSameAnswers(t, "bootstrap", peer.URL, joinedTS.URL, buildQueries(ds, rng, 32))
+}

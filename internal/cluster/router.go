@@ -1,0 +1,732 @@
+package cluster
+
+// This file is the fan-out router: the thin, stateless front door of a
+// sharded apserver fleet. It splits /query/batch by the shard key,
+// forwards each sub-batch with bounded per-shard concurrency, a
+// per-attempt timeout and retry-on-next-epoch (a worker mid rolling
+// restart answers after its warm restore; the retry loop spans the
+// gap), merges the per-shard answers back into input order, and
+// replicates /rules/batch to every shard so churn converges fleet-wide.
+// The router holds no classifier state — only the shard table — so any
+// number of router replicas can front the same fleet.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"apclassifier/internal/obs"
+	"apclassifier/internal/rule"
+)
+
+// Router-layer body bounds. The router rejects oversized payloads
+// before fanning anything out, so one hostile request cannot make N
+// workers parse N copies of it.
+const (
+	maxQueryBody = 1 << 20
+	maxBatchBody = 8 << 20
+	maxRulesBody = 8 << 20
+)
+
+// maxRouterBatch mirrors the workers' per-request batch bound: a batch
+// the fleet would refuse is refused here, with the same 413.
+const maxRouterBatch = 256
+
+// Router metrics. Per-shard detail (error and retry counts by shard
+// index) is exposed through /healthz rather than a label vec — shard
+// count is a deployment parameter, not a compile-time constant, and
+// label sets must stay provably bounded (see the vecbound analyzer).
+var (
+	mFanoutDur = obs.Default.Histogram("apc_router_fanout_duration_seconds",
+		"End-to-end /query/batch fan-out latency: split, forward, merge.", obs.DefBuckets)
+	mFanoutShards = obs.Default.Histogram("apc_router_fanout_shards",
+		"Shards touched per /query/batch fan-out.", []float64{1, 2, 4, 8, 16, 32})
+	mQueryFwd = obs.Default.Counter("apc_router_query_forwards_total",
+		"Single /query requests forwarded to a shard.")
+	mBatchFanouts = obs.Default.Counter("apc_router_batch_fanouts_total",
+		"/query/batch requests split and fanned out.")
+	mRulesFanouts = obs.Default.Counter("apc_router_rules_fanouts_total",
+		"/rules/batch requests replicated to the fleet.")
+	mShardErrors = obs.Default.Counter("apc_router_shard_errors_total",
+		"Failed shard sub-requests (after retries), all shards.")
+	mShardRetries = obs.Default.Counter("apc_router_shard_retries_total",
+		"Shard sub-request attempts retried, all shards.")
+)
+
+// Config parameterizes a Router.
+type Config struct {
+	// Shards are the worker base URLs; index k is shard k/len(Shards).
+	Shards []string
+	// Mode is the partition mode, which must match the workers' -shard-mode.
+	Mode Mode
+	// ShardConcurrency bounds in-flight sub-requests per shard
+	// (default 4). Excess sub-requests queue.
+	ShardConcurrency int
+	// Timeout bounds each forwarding attempt (default 10s).
+	Timeout time.Duration
+	// Retries is how many times a failed idempotent sub-request is
+	// retried (default 6). With exponential backoff the retry window
+	// comfortably spans a worker's warm restart.
+	Retries int
+	// RetryBackoff is the initial backoff between attempts (default
+	// 25ms, doubling per attempt, capped at 500ms).
+	RetryBackoff time.Duration
+	// HealthInterval is the background health-poll cadence (default 1s).
+	HealthInterval time.Duration
+	// Client overrides the HTTP client (tests); nil builds one with
+	// per-shard keep-alive pools.
+	Client *http.Client
+}
+
+func (c *Config) fillDefaults() {
+	if c.ShardConcurrency <= 0 {
+		c.ShardConcurrency = 4
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 10 * time.Second
+	}
+	if c.Retries == 0 {
+		c.Retries = 6
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 25 * time.Millisecond
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = time.Second
+	}
+	if c.Client == nil {
+		t := http.DefaultTransport.(*http.Transport).Clone()
+		t.MaxIdleConnsPerHost = 64
+		c.Client = &http.Client{Transport: t}
+	}
+}
+
+// shard is the router's view of one worker: its address, the
+// concurrency gate, and health state maintained by the poller and the
+// forwarding path. All fields past sem are atomics — the router has no
+// locks anywhere on the request path.
+type shard struct {
+	index int
+	base  string
+	sem   chan struct{}
+
+	ready   atomic.Bool
+	epoch   atomic.Uint64 // tree version reported by /healthz
+	seq     atomic.Uint64 // rule-delta cursor reported by /healthz
+	errors  atomic.Uint64 // failed sub-requests (after retries)
+	retries atomic.Uint64 // retried attempts
+	polls   atomic.Uint64 // successful health polls
+}
+
+// Router fans queries out over a shard fleet. Create with NewRouter,
+// mount Handler, and optionally Start the background health poller.
+type Router struct {
+	cfg    Config
+	shards []*shard
+	client *http.Client
+
+	stopPoll chan struct{}
+	pollWG   sync.WaitGroup
+	started  atomic.Bool
+}
+
+// NewRouter builds a router over the configured shard fleet. The
+// epoch-skew and readiness gauges are (re)bound to this router — like
+// Classifier.RegisterMetrics, the newest instance wins the registry.
+func NewRouter(cfg Config) (*Router, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, errors.New("cluster: router needs at least one shard URL")
+	}
+	cfg.fillDefaults()
+	r := &Router{cfg: cfg, client: cfg.Client, stopPoll: make(chan struct{})}
+	for i, base := range cfg.Shards {
+		for len(base) > 0 && base[len(base)-1] == '/' {
+			base = base[:len(base)-1]
+		}
+		r.shards = append(r.shards, &shard{
+			index: i,
+			base:  base,
+			sem:   make(chan struct{}, cfg.ShardConcurrency),
+		})
+	}
+	obs.Default.GaugeFunc("apc_router_ready",
+		"1 when every shard's last health probe reported ready.",
+		func() float64 {
+			for _, sh := range r.shards {
+				if !sh.ready.Load() {
+					return 0
+				}
+			}
+			return 1
+		})
+	obs.Default.GaugeFunc("apc_router_seq_skew",
+		"Max minus min rule-delta cursor across shards: 0 means churn has converged fleet-wide.",
+		func() float64 { _, skew := r.seqSpread(); return float64(skew) })
+	obs.Default.GaugeFunc("apc_router_epoch_skew",
+		"Max minus min reconstruction epoch across shards.",
+		func() float64 {
+			lo, hi := uint64(0), uint64(0)
+			for i, sh := range r.shards {
+				e := sh.epoch.Load()
+				if i == 0 || e < lo {
+					lo = e
+				}
+				if e > hi {
+					hi = e
+				}
+			}
+			return float64(hi - lo)
+		})
+	return r, nil
+}
+
+// seqSpread returns the minimum shard cursor and the max-min skew.
+func (r *Router) seqSpread() (min, skew uint64) {
+	lo, hi := uint64(0), uint64(0)
+	for i, sh := range r.shards {
+		s := sh.seq.Load()
+		if i == 0 || s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	return lo, hi - lo
+}
+
+// Start launches the background health poller; Stop halts it. The
+// poller keeps /healthz answers and the skew gauges fresh between
+// requests; the forwarding path never blocks on it.
+func (r *Router) Start() {
+	if !r.started.CompareAndSwap(false, true) {
+		return
+	}
+	r.pollWG.Add(1)
+	go func() {
+		defer r.pollWG.Done()
+		tick := time.NewTicker(r.cfg.HealthInterval)
+		defer tick.Stop()
+		for {
+			r.RefreshHealth(context.Background())
+			select {
+			case <-r.stopPoll:
+				return
+			case <-tick.C:
+			}
+		}
+	}()
+}
+
+// Stop halts the background poller started by Start.
+func (r *Router) Stop() {
+	if r.started.CompareAndSwap(true, false) {
+		close(r.stopPoll)
+		r.pollWG.Wait()
+		r.stopPoll = make(chan struct{})
+	}
+}
+
+// RefreshHealth probes every shard's /healthz once, concurrently,
+// updating the per-shard health state the gauges and /healthz report.
+func (r *Router) RefreshHealth(ctx context.Context) {
+	ctx, cancel := context.WithTimeout(ctx, r.cfg.Timeout)
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, sh := range r.shards {
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, sh.base+"/healthz", nil)
+			if err != nil {
+				sh.ready.Store(false)
+				return
+			}
+			resp, err := r.client.Do(req)
+			if err != nil {
+				sh.ready.Store(false)
+				return
+			}
+			defer resp.Body.Close()
+			var h Health
+			if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&h); err != nil {
+				sh.ready.Store(false)
+				return
+			}
+			sh.epoch.Store(h.Epoch)
+			sh.seq.Store(h.Seq)
+			sh.polls.Add(1)
+			sh.ready.Store(resp.StatusCode == http.StatusOK && h.Ready)
+		}(sh)
+	}
+	wg.Wait()
+}
+
+// Health is the /healthz payload a worker reports (and the per-shard
+// shape the router's own /healthz embeds). Ready means "routable":
+// workers gate it on the first published epoch and clear it while
+// draining.
+type Health struct {
+	Ready    bool   `json:"ready"`
+	Draining bool   `json:"draining,omitempty"`
+	Shard    string `json:"shard,omitempty"`
+	Epoch    uint64 `json:"epoch"`
+	Seq      uint64 `json:"seq"`
+}
+
+// Handler returns the router's HTTP handler.
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", r.handleQuery)
+	mux.HandleFunc("POST /query/batch", r.handleQueryBatch)
+	mux.HandleFunc("POST /rules/batch", r.handleRulesBatch)
+	mux.HandleFunc("GET /stats", r.handleStats)
+	mux.HandleFunc("GET /healthz", r.handleHealthz)
+	mux.HandleFunc("GET /metrics", r.handleMetrics)
+	return mux
+}
+
+func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	// A write failure means the scraper went away; nothing to report.
+	_ = obs.Default.WritePrometheus(w)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Status line already sent; an encode failure means the client left.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// readBody reads a bounded request body, answering 413 on overflow.
+func readBody(w http.ResponseWriter, req *http.Request, limit int64) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, limit))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", limit)
+		} else {
+			writeErr(w, http.StatusBadRequest, "read body: %v", err)
+		}
+		return nil, false
+	}
+	return body, true
+}
+
+// routeKey is the slice of a query the router must understand: exactly
+// the fields the shard function hashes. Everything else in the element
+// is forwarded untouched — the worker owns query semantics.
+type routeKey struct {
+	Ingress string `json:"ingress"`
+	Dst     string `json:"dst"`
+	Src     string `json:"src"`
+	SrcPort uint16 `json:"srcPort"`
+	DstPort uint16 `json:"dstPort"`
+	Proto   uint8  `json:"proto"`
+}
+
+// fields resolves the key's addresses, mirroring the worker's parse so
+// ownership is computed on identical values.
+func (k *routeKey) fields() (rule.Fields, error) {
+	f := rule.Fields{SrcPort: k.SrcPort, DstPort: k.DstPort, Proto: k.Proto}
+	var err error
+	if f.Dst, err = ParseIPv4(k.Dst); err != nil {
+		return f, fmt.Errorf("dst: %w", err)
+	}
+	if k.Src != "" {
+		if f.Src, err = ParseIPv4(k.Src); err != nil {
+			return f, fmt.Errorf("src: %w", err)
+		}
+	}
+	return f, nil
+}
+
+// shardOfRaw computes the owning shard for one raw query element.
+func (r *Router) shardOfRaw(raw []byte) (int, error) {
+	var k routeKey
+	if err := json.Unmarshal(raw, &k); err != nil {
+		return 0, fmt.Errorf("bad JSON: %v", err)
+	}
+	f, err := k.fields()
+	if err != nil {
+		return 0, err
+	}
+	return ShardOf(r.cfg.Mode, len(r.shards), k.Ingress, f), nil
+}
+
+// forward sends body to one shard with the retry-on-next-epoch loop:
+// transport errors and 5xx responses are retried with exponential
+// backoff while the attempt budget lasts, so a worker that is down for
+// a rolling restart answers the retry that lands after its warm
+// restore publishes the next epoch. A non-idempotent request (an
+// unsequenced rules batch) is never retried after it may have been
+// applied. The shard's concurrency gate is held for the whole call,
+// queued retries included, so a struggling shard is never hammered.
+func (r *Router) forward(ctx context.Context, sh *shard, method, path string, body []byte, idempotent bool) (int, http.Header, []byte, error) {
+	sh.sem <- struct{}{}
+	defer func() { <-sh.sem }()
+	backoff := r.cfg.RetryBackoff
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		status, hdr, respBody, err := r.attempt(ctx, sh, method, path, body)
+		retryable := err != nil || status >= 500
+		if err == nil && (status < 500 || !idempotent) {
+			return status, hdr, respBody, nil
+		}
+		if err != nil {
+			lastErr = err
+		} else {
+			lastErr = fmt.Errorf("shard %d: status %d: %s", sh.index, status, bytes.TrimSpace(respBody))
+		}
+		if !retryable || !idempotent || attempt >= r.cfg.Retries {
+			sh.errors.Add(1)
+			mShardErrors.Inc()
+			return status, hdr, respBody, lastErr
+		}
+		sh.retries.Add(1)
+		mShardRetries.Inc()
+		select {
+		case <-ctx.Done():
+			sh.errors.Add(1)
+			mShardErrors.Inc()
+			return 0, nil, nil, lastErr
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > 500*time.Millisecond {
+			backoff = 500 * time.Millisecond
+		}
+	}
+}
+
+// attempt is one forwarding try under the per-attempt timeout.
+func (r *Router) attempt(ctx context.Context, sh *shard, method, path string, body []byte) (int, http.Header, []byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, r.cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, method, sh.base+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return 0, nil, nil, fmt.Errorf("shard %d: %w", sh.index, err)
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, nil, fmt.Errorf("shard %d: read response: %w", sh.index, err)
+	}
+	return resp.StatusCode, resp.Header, respBody, nil
+}
+
+// relay writes a shard's response through to the client unchanged, so
+// a routed /query is byte-identical to querying the worker directly.
+func relay(w http.ResponseWriter, status int, hdr http.Header, body []byte) {
+	if ct := hdr.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(status)
+	// Client-side write failures have no one left to report to.
+	_, _ = w.Write(body)
+}
+
+func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
+	body, ok := readBody(w, req, maxQueryBody)
+	if !ok {
+		return
+	}
+	target, err := r.shardOfRaw(body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	mQueryFwd.Inc()
+	status, hdr, respBody, err := r.forward(req.Context(), r.shards[target], http.MethodPost, "/query", body, true)
+	if err != nil && status == 0 {
+		writeErr(w, http.StatusBadGateway, "%v", err)
+		return
+	}
+	relay(w, status, hdr, respBody)
+}
+
+// handleQueryBatch splits the batch by shard key, fans the sub-batches
+// out concurrently, and merges the answers back into input order. The
+// merged array is element-for-element byte-identical to what one
+// unsharded worker would have answered: workers produce each element,
+// the router only reorders bytes.
+func (r *Router) handleQueryBatch(w http.ResponseWriter, req *http.Request) {
+	body, ok := readBody(w, req, maxBatchBody)
+	if !ok {
+		return
+	}
+	var elems []json.RawMessage
+	if err := json.Unmarshal(body, &elems); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if len(elems) > maxRouterBatch {
+		writeErr(w, http.StatusRequestEntityTooLarge,
+			"batch of %d exceeds the %d-query limit; split the workload", len(elems), maxRouterBatch)
+		return
+	}
+	if len(elems) == 0 {
+		writeJSON(w, http.StatusOK, []json.RawMessage{})
+		return
+	}
+
+	// Split: per-shard element lists plus the original index of each
+	// element, for the order-preserving merge.
+	perShard := make([][]json.RawMessage, len(r.shards))
+	perShardIdx := make([][]int, len(r.shards))
+	for i, raw := range elems {
+		target, err := r.shardOfRaw(raw)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "query %d: %v", i, err)
+			return
+		}
+		perShard[target] = append(perShard[target], raw)
+		perShardIdx[target] = append(perShardIdx[target], i)
+	}
+
+	mBatchFanouts.Inc()
+	start := time.Now()
+	merged := make([]json.RawMessage, len(elems))
+	type shardFail struct {
+		status int
+		hdr    http.Header
+		body   []byte
+		err    error
+	}
+	fails := make([]*shardFail, len(r.shards))
+	var wg sync.WaitGroup
+	touched := 0
+	for si := range r.shards {
+		if len(perShard[si]) == 0 {
+			continue
+		}
+		touched++
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			sub, err := json.Marshal(perShard[si])
+			if err != nil {
+				fails[si] = &shardFail{err: err}
+				return
+			}
+			status, hdr, respBody, err := r.forward(req.Context(), r.shards[si], http.MethodPost, "/query/batch", sub, true)
+			if err != nil || status != http.StatusOK {
+				fails[si] = &shardFail{status: status, hdr: hdr, body: respBody, err: err}
+				return
+			}
+			var answers []json.RawMessage
+			if err := json.Unmarshal(respBody, &answers); err != nil {
+				fails[si] = &shardFail{err: fmt.Errorf("shard %d: bad answer array: %v", si, err)}
+				return
+			}
+			if len(answers) != len(perShard[si]) {
+				fails[si] = &shardFail{err: fmt.Errorf("shard %d: %d answers for %d queries", si, len(answers), len(perShard[si]))}
+				return
+			}
+			for j, a := range answers {
+				merged[perShardIdx[si][j]] = a
+			}
+		}(si)
+	}
+	wg.Wait()
+	for si, f := range fails {
+		if f == nil {
+			continue
+		}
+		if f.err != nil && f.status == 0 {
+			writeErr(w, http.StatusBadGateway, "shard %d: %v", si, f.err)
+			return
+		}
+		// A worker rejected its sub-batch (4xx); relay its verdict. The
+		// index in its message is sub-batch-local — remap to the
+		// client's numbering where the shape allows.
+		relay(w, f.status, f.hdr, f.body)
+		return
+	}
+	mFanoutShards.Record(float64(touched))
+	mFanoutDur.Record(time.Since(start).Seconds())
+	writeJSON(w, http.StatusOK, merged)
+}
+
+// shardRulesResult is one shard's verdict inside a RulesFanoutResponse.
+type shardRulesResult struct {
+	Shard   int    `json:"shard"`
+	Applied bool   `json:"applied"`
+	Seq     uint64 `json:"seq"`
+	Error   string `json:"error,omitempty"`
+}
+
+// RulesFanoutResponse is the router's /rules/batch result: the
+// per-shard verdicts plus the fleet's converged cursor. Seq is the
+// minimum cursor across shards — the safe resume point: replaying from
+// it cannot skip a shard, and shards that are ahead acknowledge
+// replayed batches without re-applying them.
+type RulesFanoutResponse struct {
+	Applied bool               `json:"applied"` // true when any shard applied the batch
+	Seq     uint64             `json:"seq"`
+	Shards  []shardRulesResult `json:"shards"`
+}
+
+// handleRulesBatch replicates one rule-delta batch to every shard.
+// With a ?seq= cursor the replication is idempotent per shard, so a
+// partial failure is safe to retry with the same cursor: shards that
+// already applied it acknowledge without re-applying, shards that
+// missed it converge. Without a cursor a transport-failed shard is NOT
+// retried (the batch may have been applied); the response names the
+// shards that diverged.
+func (r *Router) handleRulesBatch(w http.ResponseWriter, req *http.Request) {
+	body, ok := readBody(w, req, maxRulesBody)
+	if !ok {
+		return
+	}
+	seq := req.URL.Query().Get("seq")
+	if seq != "" {
+		if v, err := strconv.ParseUint(seq, 10, 64); err != nil || v == 0 {
+			writeErr(w, http.StatusBadRequest, "bad seq %q: want a positive integer", seq)
+			return
+		}
+	}
+	path := "/rules/batch"
+	if seq != "" {
+		path += "?seq=" + seq
+	}
+	mRulesFanouts.Inc()
+	results := make([]shardRulesResult, len(r.shards))
+	var wg sync.WaitGroup
+	for si := range r.shards {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			res := shardRulesResult{Shard: si}
+			status, _, respBody, err := r.forward(req.Context(), r.shards[si], http.MethodPost, path, body, seq != "")
+			switch {
+			case err != nil && status == 0:
+				res.Error = err.Error()
+			case status != http.StatusOK:
+				res.Error = fmt.Sprintf("status %d: %s", status, bytes.TrimSpace(respBody))
+			default:
+				var ack struct {
+					Applied bool   `json:"applied"`
+					Seq     uint64 `json:"seq"`
+				}
+				if jerr := json.Unmarshal(respBody, &ack); jerr != nil {
+					res.Error = fmt.Sprintf("bad ack: %v", jerr)
+				} else {
+					res.Applied = ack.Applied
+					res.Seq = ack.Seq
+					r.shards[si].seq.Store(ack.Seq)
+				}
+			}
+			results[si] = res
+		}(si)
+	}
+	wg.Wait()
+	resp := RulesFanoutResponse{Shards: results}
+	status := http.StatusOK
+	first := true
+	for _, res := range results {
+		if res.Error != "" {
+			status = http.StatusBadGateway
+			continue
+		}
+		resp.Applied = resp.Applied || res.Applied
+		if first || res.Seq < resp.Seq {
+			resp.Seq = res.Seq
+		}
+		first = false
+	}
+	writeJSON(w, status, resp)
+}
+
+// handleStats fans GET /stats to every shard and returns the answers
+// side by side — the operator's one-glance view of fleet symmetry.
+func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
+	type shardStats struct {
+		Shard int             `json:"shard"`
+		URL   string          `json:"url"`
+		Stats json.RawMessage `json:"stats,omitempty"`
+		Error string          `json:"error,omitempty"`
+	}
+	out := make([]shardStats, len(r.shards))
+	var wg sync.WaitGroup
+	for si, sh := range r.shards {
+		wg.Add(1)
+		go func(si int, sh *shard) {
+			defer wg.Done()
+			out[si] = shardStats{Shard: si, URL: sh.base}
+			status, _, body, err := r.forward(req.Context(), sh, http.MethodGet, "/stats", nil, true)
+			if err != nil || status != http.StatusOK {
+				if err == nil {
+					err = fmt.Errorf("status %d", status)
+				}
+				out[si].Error = err.Error()
+				return
+			}
+			out[si].Stats = body
+		}(si, sh)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, map[string]interface{}{"shards": out})
+}
+
+// handleHealthz probes the fleet synchronously and reports readiness:
+// 200 only when every shard is ready, else 503 — the contract a load
+// balancer in front of router replicas consumes. The payload carries
+// per-shard health plus the seq/epoch skew, so "is churn converged"
+// is one curl away.
+func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	r.RefreshHealth(req.Context())
+	type shardHealth struct {
+		Shard   int    `json:"shard"`
+		URL     string `json:"url"`
+		Ready   bool   `json:"ready"`
+		Epoch   uint64 `json:"epoch"`
+		Seq     uint64 `json:"seq"`
+		Errors  uint64 `json:"errors"`
+		Retries uint64 `json:"retries"`
+	}
+	shards := make([]shardHealth, len(r.shards))
+	ready := true
+	for i, sh := range r.shards {
+		shards[i] = shardHealth{
+			Shard:   i,
+			URL:     sh.base,
+			Ready:   sh.ready.Load(),
+			Epoch:   sh.epoch.Load(),
+			Seq:     sh.seq.Load(),
+			Errors:  sh.errors.Load(),
+			Retries: sh.retries.Load(),
+		}
+		ready = ready && shards[i].Ready
+	}
+	_, skew := r.seqSpread()
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]interface{}{
+		"ready":   ready,
+		"mode":    r.cfg.Mode.String(),
+		"shards":  shards,
+		"seqSkew": skew,
+	})
+}

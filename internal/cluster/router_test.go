@@ -1,0 +1,387 @@
+package cluster_test
+
+// The router's contract is differential: a sharded fleet behind the
+// router must be indistinguishable — byte for byte — from one unsharded
+// worker. These tests run real workers (internal/server over real
+// classifiers) behind a real router and hold the merged answers to an
+// unsharded oracle across random and boundary headers, interleaved
+// /rules/batch churn, and a worker rolling restart.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"apclassifier"
+	"apclassifier/internal/cluster"
+	"apclassifier/internal/netgen"
+	"apclassifier/internal/server"
+)
+
+func startWorker(t *testing.T, ds *netgen.Dataset, part cluster.Partition) *httptest.Server {
+	t.Helper()
+	c, err := apclassifier.New(ds, apclassifier.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := server.New(c)
+	s.SetPartition(part)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func startRouter(t *testing.T, cfg cluster.Config) (*cluster.Router, *httptest.Server) {
+	t.Helper()
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = time.Millisecond
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	r, err := cluster.NewRouter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(r.Handler())
+	t.Cleanup(ts.Close)
+	return r, ts
+}
+
+func postRaw(t *testing.T, url string, body []byte) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func ipStr(v uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// buildQueries mixes boundary headers (header-space corners every shard
+// function must place somewhere) with dataset-biased random ones.
+func buildQueries(ds *netgen.Dataset, rng *rand.Rand, n int) []server.QueryRequest {
+	boxes := ds.Boxes
+	bounds := []server.QueryRequest{
+		{Dst: "0.0.0.0"},
+		{Dst: "255.255.255.255", Src: "255.255.255.255", SrcPort: 65535, DstPort: 65535, Proto: 255},
+		{Dst: "0.0.0.1", Src: "255.255.255.255", DstPort: 1},
+		{Dst: "128.0.0.0", Src: "0.0.0.0", SrcPort: 1, Proto: 6},
+		{Dst: "127.255.255.255", SrcPort: 65535, Proto: 17},
+	}
+	qs := make([]server.QueryRequest, 0, n)
+	for i, q := range bounds {
+		q.Ingress = boxes[i%len(boxes)].Name
+		qs = append(qs, q)
+	}
+	for len(qs) < n {
+		f := ds.RandomFields(rng)
+		qs = append(qs, server.QueryRequest{
+			Ingress: boxes[rng.Intn(len(boxes))].Name,
+			Dst:     ipStr(f.Dst),
+			Src:     ipStr(f.Src),
+			SrcPort: f.SrcPort,
+			DstPort: f.DstPort,
+			Proto:   f.Proto,
+		})
+	}
+	return qs
+}
+
+// assertSameAnswers sends one identical batch to the oracle and the
+// router and requires the answer arrays to match element for element,
+// byte for byte.
+func assertSameAnswers(t *testing.T, label, oracleURL, routerURL string, qs []server.QueryRequest) {
+	t.Helper()
+	body, err := json.Marshal(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	so, bo := postRaw(t, oracleURL+"/query/batch", body)
+	sr, br := postRaw(t, routerURL+"/query/batch", body)
+	if so != 200 || sr != 200 {
+		t.Fatalf("%s: oracle %d (%s), router %d (%s)", label, so, bo, sr, br)
+	}
+	var eo, er []json.RawMessage
+	if err := json.Unmarshal(bo, &eo); err != nil {
+		t.Fatalf("%s: oracle body: %v", label, err)
+	}
+	if err := json.Unmarshal(br, &er); err != nil {
+		t.Fatalf("%s: router body: %v", label, err)
+	}
+	if len(eo) != len(er) {
+		t.Fatalf("%s: oracle %d answers, router %d", label, len(eo), len(er))
+	}
+	for i := range eo {
+		if !bytes.Equal(eo[i], er[i]) {
+			t.Fatalf("%s: answer %d diverges for %+v:\n  oracle %s\n  router %s",
+				label, i, qs[i], eo[i], er[i])
+		}
+	}
+}
+
+// churnBatch is one deterministic step of rule churn: install a fresh
+// 240/8 route with a permissive egress ACL, and from step 2 on withdraw
+// the route installed two steps earlier — adds, ACL flips, and removes
+// all replicate through the router.
+func churnBatch(ds *netgen.Dataset, step int) []server.RuleDeltaRequest {
+	box := ds.Boxes[step%len(ds.Boxes)].Name
+	batch := []server.RuleDeltaRequest{
+		{Op: "add-fwd", Box: box, Prefix: fmt.Sprintf("240.%d.0.0/16", step), Port: 0},
+		{Op: "set-port-acl", Box: box, Port: 0, ACL: &server.ACLSpec{Default: "permit"}},
+	}
+	if step >= 2 {
+		old := ds.Boxes[(step-2)%len(ds.Boxes)].Name
+		batch = append(batch, server.RuleDeltaRequest{
+			Op: "remove-fwd", Box: old, Prefix: fmt.Sprintf("240.%d.0.0/16", step-2),
+		})
+	}
+	return batch
+}
+
+// applyChurn replicates one churn step to the router fleet and applies
+// the identical batch (same cursor) to the oracle.
+func applyChurn(t *testing.T, ds *netgen.Dataset, oracleURL, routerURL string, step int) {
+	t.Helper()
+	body, err := json.Marshal(churnBatch(ds, step))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := fmt.Sprintf("?seq=%d", step+1)
+	if code, resp := postRaw(t, oracleURL+"/rules/batch"+seq, body); code != 200 {
+		t.Fatalf("step %d: oracle churn status %d: %s", step, code, resp)
+	}
+	code, resp := postRaw(t, routerURL+"/rules/batch"+seq, body)
+	if code != 200 {
+		t.Fatalf("step %d: router churn status %d: %s", step, code, resp)
+	}
+	var ack cluster.RulesFanoutResponse
+	if err := json.Unmarshal(resp, &ack); err != nil {
+		t.Fatal(err)
+	}
+	if !ack.Applied || ack.Seq != uint64(step+1) {
+		t.Fatalf("step %d: fleet ack %+v", step, ack)
+	}
+	for _, sh := range ack.Shards {
+		if sh.Error != "" || sh.Seq != uint64(step+1) {
+			t.Fatalf("step %d: shard %d diverged: %+v", step, sh.Shard, sh)
+		}
+	}
+}
+
+// TestRouterDifferentialTwoShards is the acceptance centerpiece: over
+// all three dataset families, a 2-shard fleet behind the router answers
+// bit-identically to a single unsharded process, across random and
+// boundary headers with rule churn interleaved between query rounds.
+func TestRouterDifferentialTwoShards(t *testing.T) {
+	cases := []struct {
+		name string
+		make func() *netgen.Dataset
+	}{
+		{"internet2", func() *netgen.Dataset { return netgen.Internet2Like(netgen.Config{Seed: 71, RuleScale: 0.01}) }},
+		{"stanford", func() *netgen.Dataset { return netgen.StanfordLike(netgen.Config{Seed: 71, RuleScale: 0.003}) }},
+		{"multitenant", func() *netgen.Dataset { return netgen.MultiTenantLike(2, 2, 71) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			oracle := startWorker(t, tc.make(), cluster.Partition{})
+			w0 := startWorker(t, tc.make(), cluster.Partition{Mode: cluster.ModeHeader, Index: 0, Total: 2})
+			w1 := startWorker(t, tc.make(), cluster.Partition{Mode: cluster.ModeHeader, Index: 1, Total: 2})
+			_, router := startRouter(t, cluster.Config{Shards: []string{w0.URL, w1.URL}})
+			ds := tc.make()
+			rng := rand.New(rand.NewSource(97))
+
+			for step := 0; step < 4; step++ {
+				label := fmt.Sprintf("%s step %d", tc.name, step)
+				assertSameAnswers(t, label, oracle.URL, router.URL, buildQueries(ds, rng, 48))
+				applyChurn(t, ds, oracle.URL, router.URL, step)
+			}
+			assertSameAnswers(t, tc.name+" final", oracle.URL, router.URL, buildQueries(ds, rng, 48))
+
+			// The single-query path relays the owning worker's answer
+			// byte-for-byte too.
+			for _, q := range buildQueries(ds, rng, 8) {
+				body, _ := json.Marshal(q)
+				so, bo := postRaw(t, oracle.URL+"/query", body)
+				sr, br := postRaw(t, router.URL+"/query", body)
+				if so != 200 || sr != 200 || !bytes.Equal(bo, br) {
+					t.Fatalf("single query diverges for %+v: oracle %d %s, router %d %s", q, so, bo, sr, br)
+				}
+			}
+		})
+	}
+}
+
+// TestWorkerRefusesMisdirectedQuery: a worker answers 421 for a query
+// outside its slice — the fleet fails loud on a stale shard table
+// instead of serving from the wrong worker.
+func TestWorkerRefusesMisdirectedQuery(t *testing.T) {
+	ds := netgen.Internet2Like(netgen.Config{Seed: 71, RuleScale: 0.01})
+	w0 := startWorker(t, ds, cluster.Partition{Mode: cluster.ModeHeader, Index: 0, Total: 2})
+	rng := rand.New(rand.NewSource(3))
+	refused, served := 0, 0
+	for _, q := range buildQueries(ds, rng, 40) {
+		body, _ := json.Marshal(q)
+		switch code, resp := postRaw(t, w0.URL+"/query", body); code {
+		case http.StatusOK:
+			served++
+		case http.StatusMisdirectedRequest:
+			refused++
+			if !strings.Contains(string(resp), "0/2") {
+				t.Fatalf("421 does not name the serving shard: %s", resp)
+			}
+		default:
+			t.Fatalf("query %+v: status %d: %s", q, code, resp)
+		}
+	}
+	if refused == 0 || served == 0 {
+		t.Fatalf("shard 0/2 served %d and refused %d of 40 — partition is not splitting", served, refused)
+	}
+}
+
+// TestRouterRetriesIdempotent: a shard answering 5xx is retried with
+// backoff until it recovers — the mechanism that spans a worker's warm
+// restart — while an unsequenced /rules/batch is never retried after it
+// may have been applied.
+func TestRouterRetriesIdempotent(t *testing.T) {
+	var queryCalls, rulesCalls, seqRulesCalls atomic.Int32
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.URL.Path == "/query":
+			if queryCalls.Add(1) <= 2 {
+				http.Error(w, "warming up", http.StatusServiceUnavailable)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprint(w, `{"atom":7,"searchDepth":1,"delivered":[],"drops":[]}`)
+		case r.URL.Path == "/rules/batch" && r.URL.Query().Get("seq") == "":
+			rulesCalls.Add(1)
+			http.Error(w, "nope", http.StatusInternalServerError)
+		case r.URL.Path == "/rules/batch":
+			seqRulesCalls.Add(1)
+			http.Error(w, "nope", http.StatusInternalServerError)
+		}
+	}))
+	defer backend.Close()
+	_, router := startRouter(t, cluster.Config{
+		Shards: []string{backend.URL}, Retries: 4, RetryBackoff: time.Millisecond, Timeout: time.Second,
+	})
+
+	code, body := postRaw(t, router.URL+"/query", []byte(`{"ingress":"x","dst":"10.1.2.3"}`))
+	if code != 200 || !bytes.Contains(body, []byte(`"atom":7`)) {
+		t.Fatalf("query after recovery: %d %s", code, body)
+	}
+	if got := queryCalls.Load(); got != 3 {
+		t.Fatalf("query attempts = %d, want 3 (2 failures + success)", got)
+	}
+
+	if code, _ := postRaw(t, router.URL+"/rules/batch", []byte(`[]`)); code != http.StatusBadGateway {
+		t.Fatalf("unsequenced rules fan-out: status %d, want 502", code)
+	}
+	if got := rulesCalls.Load(); got != 1 {
+		t.Fatalf("unsequenced rules batch attempted %d times, want exactly 1 (not idempotent)", got)
+	}
+
+	if code, _ := postRaw(t, router.URL+"/rules/batch?seq=1", []byte(`[]`)); code != http.StatusBadGateway {
+		t.Fatalf("sequenced rules fan-out: status %d, want 502", code)
+	}
+	if got := seqRulesCalls.Load(); got != 5 {
+		t.Fatalf("sequenced rules batch attempted %d times, want 5 (retries exhausted)", got)
+	}
+}
+
+// TestRouterBodyLimits: the router rejects oversized payloads itself,
+// before fanning anything out.
+func TestRouterBodyLimits(t *testing.T) {
+	var calls atomic.Int32
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Write([]byte(`[]`))
+	}))
+	defer backend.Close()
+	_, router := startRouter(t, cluster.Config{Shards: []string{backend.URL}})
+
+	big := bytes.Repeat([]byte("x"), (1<<20)+1)
+	if code, _ := postRaw(t, router.URL+"/query", big); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized /query: status %d, want 413", code)
+	}
+	huge := bytes.Repeat([]byte("y"), (8<<20)+1)
+	if code, _ := postRaw(t, router.URL+"/query/batch", huge); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized /query/batch: status %d, want 413", code)
+	}
+	if code, _ := postRaw(t, router.URL+"/rules/batch", huge); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized /rules/batch: status %d, want 413", code)
+	}
+	wide := "[" + strings.Repeat(`{"ingress":"a","dst":"1.2.3.4"},`, 256) + `{"ingress":"a","dst":"1.2.3.4"}]`
+	if code, _ := postRaw(t, router.URL+"/query/batch", []byte(wide)); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("257-element batch: status %d, want 413", code)
+	}
+	if got := calls.Load(); got != 0 {
+		t.Fatalf("oversized payloads reached the fleet %d times", got)
+	}
+}
+
+// TestRouterHealthGating: the router's /healthz follows the fleet — 200
+// only when every shard reports ready, 503 once any worker drains.
+func TestRouterHealthGating(t *testing.T) {
+	ds := netgen.Internet2Like(netgen.Config{Seed: 71, RuleScale: 0.01})
+	c, err := apclassifier.New(ds, apclassifier.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0 := server.New(c)
+	s0.SetPartition(cluster.Partition{Mode: cluster.ModeHeader, Index: 0, Total: 2})
+	w0 := httptest.NewServer(s0.Handler())
+	defer w0.Close()
+	w1 := startWorker(t, netgen.Internet2Like(netgen.Config{Seed: 71, RuleScale: 0.01}),
+		cluster.Partition{Mode: cluster.ModeHeader, Index: 1, Total: 2})
+	_, router := startRouter(t, cluster.Config{Shards: []string{w0.URL, w1.URL}})
+
+	get := func() (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(router.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, body
+	}
+	if code, body := get(); code != 200 {
+		t.Fatalf("healthy fleet: status %d: %s", code, body)
+	}
+	s0.StartDrain()
+	code, body := get()
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("draining fleet: status %d: %s", code, body)
+	}
+	var h struct {
+		Ready  bool `json:"ready"`
+		Shards []struct {
+			Shard int  `json:"shard"`
+			Ready bool `json:"ready"`
+		} `json:"shards"`
+	}
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Ready || len(h.Shards) != 2 || h.Shards[0].Ready || !h.Shards[1].Ready {
+		t.Fatalf("healthz payload does not isolate the draining shard: %s", body)
+	}
+}

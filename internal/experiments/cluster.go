@@ -1,0 +1,302 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"apclassifier/internal/netgen"
+	"apclassifier/internal/server"
+)
+
+// ClusterThroughput measures the sharded fleet end to end: real apserver
+// worker processes behind a real aprouter process, driven over HTTP with
+// /query/batch. Each fleet size gets a fresh set of processes; workers
+// regenerate the dataset deterministically from flags, so nothing is
+// copied between processes. The "1 (direct)" row is the same workload
+// against a single unsharded worker with no router in front — the
+// router's fan-out overhead is the gap between it and the N=1 row.
+//
+// Honesty note: on a single pinned CPU every worker shares one core, so
+// the speedup column measures protocol overhead, not parallelism. Run
+// on a multi-core host for the scaling claim.
+func (e *Env) ClusterThroughput(counts []int, batch, clients int, minDur time.Duration) *Table {
+	t := &Table{
+		Title: "Cluster throughput — multi-process apserver fleet behind aprouter (/query/batch over HTTP)",
+		Header: []string{"shards", "qps", "speedup vs 1"},
+		Notes: []string{
+			fmt.Sprintf("batch=%d, clients=%d, internet2 ×%.3g; workers rebuild the dataset from flags", batch, clients, e.Scale.I2),
+			fmt.Sprintf("GOMAXPROCS=%d on this host — with one core the fleet shares it and speedup reflects overhead only", maxProcs()),
+		},
+	}
+	bins, err := buildClusterBinaries()
+	if err != nil {
+		t.Notes = append(t.Notes, "SKIPPED: "+err.Error())
+		return t
+	}
+	defer func() { _ = os.RemoveAll(filepath.Dir(bins.apserver)) }()
+
+	ds := netgen.Internet2Like(netgen.Config{Seed: 1, RuleScale: e.Scale.I2})
+	bodies := clusterBatches(ds, batch, 32)
+
+	var base float64
+	direct, err := measureFleet(bins, 1, false, e.Scale.I2, bodies, clients, minDur)
+	if err != nil {
+		t.Notes = append(t.Notes, "SKIPPED: "+err.Error())
+		return t
+	}
+	t.AddRow("1 (direct)", fmt.Sprintf("%.0f", direct), "-")
+	for _, n := range counts {
+		qps, err := measureFleet(bins, n, true, e.Scale.I2, bodies, clients, minDur)
+		if err != nil {
+			t.AddRow(fmt.Sprint(n), "error: "+err.Error(), "-")
+			continue
+		}
+		if base == 0 {
+			base = qps
+		}
+		t.AddRow(fmt.Sprint(n), fmt.Sprintf("%.0f", qps), fmt.Sprintf("%.2fx", qps/base))
+	}
+	return t
+}
+
+func maxProcs() int { return runtime.GOMAXPROCS(0) }
+
+type clusterBinaries struct {
+	apserver, aprouter string
+}
+
+// buildClusterBinaries compiles the two commands into a temp dir. The
+// build runs with the current working directory, which for apbench is
+// the module root; a failure degrades the experiment to a note instead
+// of killing the whole run.
+func buildClusterBinaries() (clusterBinaries, error) {
+	dir, err := os.MkdirTemp("", "apcluster-*")
+	if err != nil {
+		return clusterBinaries{}, err
+	}
+	b := clusterBinaries{
+		apserver: filepath.Join(dir, "apserver"),
+		aprouter: filepath.Join(dir, "aprouter"),
+	}
+	for pkg, out := range map[string]string{
+		"apclassifier/cmd/apserver": b.apserver,
+		"apclassifier/cmd/aprouter": b.aprouter,
+	} {
+		cmd := exec.Command("go", "build", "-o", out, pkg)
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			_ = os.RemoveAll(dir)
+			return clusterBinaries{}, fmt.Errorf("go build %s: %v: %s", pkg, err, bytes.TrimSpace(msg))
+		}
+	}
+	return b, nil
+}
+
+// clusterBatches pre-marshals m query batches so the measurement loop
+// does no encoding work.
+func clusterBatches(ds *netgen.Dataset, batch, m int) [][]byte {
+	rng := rand.New(rand.NewSource(42))
+	bodies := make([][]byte, m)
+	for i := range bodies {
+		qs := make([]server.QueryRequest, batch)
+		for j := range qs {
+			f := ds.RandomFields(rng)
+			qs[j] = server.QueryRequest{
+				Ingress: ds.Boxes[rng.Intn(len(ds.Boxes))].Name,
+				Dst:     ip4(f.Dst), Src: ip4(f.Src),
+				SrcPort: f.SrcPort, DstPort: f.DstPort, Proto: f.Proto,
+			}
+		}
+		bodies[i], _ = json.Marshal(qs)
+	}
+	return bodies
+}
+
+func ip4(v uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// measureFleet starts n workers (plus aprouter when routed), waits for
+// health, then counts completed /query/batch queries for minDur.
+func measureFleet(bins clusterBinaries, n int, routed bool, scale float64, bodies [][]byte, clients int, minDur time.Duration) (float64, error) {
+	ports, err := freePorts(n + 1)
+	if err != nil {
+		return 0, err
+	}
+	var procs []*exec.Cmd
+	defer func() {
+		for _, p := range procs {
+			stopProcess(p)
+		}
+	}()
+	shardURLs := make([]string, n)
+	for k := 0; k < n; k++ {
+		addr := fmt.Sprintf("127.0.0.1:%d", ports[k])
+		shardURLs[k] = "http://" + addr
+		args := []string{
+			"-listen", addr, "-net", "internet2",
+			"-scale", fmt.Sprint(scale), "-seed", "1",
+		}
+		if routed {
+			args = append(args, "-shard", fmt.Sprintf("%d/%d", k, n))
+		}
+		cmd := exec.Command(bins.apserver, args...)
+		cmd.Stdout, cmd.Stderr = io.Discard, io.Discard
+		if err := cmd.Start(); err != nil {
+			return 0, err
+		}
+		procs = append(procs, cmd)
+	}
+	target := shardURLs[0]
+	if routed {
+		addr := fmt.Sprintf("127.0.0.1:%d", ports[n])
+		cmd := exec.Command(bins.aprouter,
+			"-listen", addr, "-shards", joinComma(shardURLs))
+		cmd.Stdout, cmd.Stderr = io.Discard, io.Discard
+		if err := cmd.Start(); err != nil {
+			return 0, err
+		}
+		procs = append(procs, cmd)
+		target = "http://" + addr
+	}
+	for _, u := range append(append([]string{}, shardURLs...), target) {
+		if err := waitHealthy(u+"/healthz", 2*time.Minute); err != nil {
+			return 0, err
+		}
+	}
+
+	perBatch := 0
+	var probe []json.RawMessage
+	resp, err := http.Post(target+"/query/batch", "application/json", bytes.NewReader(bodies[0]))
+	if err != nil {
+		return 0, err
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != 200 {
+		return 0, fmt.Errorf("probe batch: status %d: %s", resp.StatusCode, raw)
+	}
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		return 0, err
+	}
+	perBatch = len(probe)
+
+	var done atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var firstErr atomic.Value
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 30 * time.Second}
+			for i := c; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := client.Post(target+"/query/batch", "application/json", bytes.NewReader(bodies[i%len(bodies)]))
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				_ = resp.Body.Close()
+				if resp.StatusCode != 200 {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("batch status %d", resp.StatusCode))
+					return
+				}
+				done.Add(1)
+			}
+		}(c)
+	}
+	time.Sleep(minDur)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return 0, err
+	}
+	return float64(done.Load()*int64(perBatch)) / elapsed.Seconds(), nil
+}
+
+// freePorts reserves n distinct ports by binding and releasing them.
+// The window between release and the worker's own bind is a benign race
+// on a bench host.
+func freePorts(n int) ([]int, error) {
+	ports := make([]int, 0, n)
+	lns := make([]net.Listener, 0, n)
+	defer func() {
+		for _, ln := range lns {
+			_ = ln.Close()
+		}
+	}()
+	for len(ports) < n {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns = append(lns, ln)
+		ports = append(ports, ln.Addr().(*net.TCPAddr).Port)
+	}
+	return ports, nil
+}
+
+func joinComma(xs []string) string {
+	out := ""
+	for i, x := range xs {
+		if i > 0 {
+			out += ","
+		}
+		out += x
+	}
+	return out
+}
+
+// stopProcess mirrors an orchestrator: SIGTERM, then SIGKILL after a
+// grace period.
+func stopProcess(cmd *exec.Cmd) {
+	if cmd.Process == nil {
+		return
+	}
+	_ = cmd.Process.Signal(syscall.SIGTERM)
+	exited := make(chan struct{})
+	go func() { _, _ = cmd.Process.Wait(); close(exited) }()
+	select {
+	case <-exited:
+	case <-time.After(10 * time.Second):
+		_ = cmd.Process.Kill()
+		<-exited
+	}
+}
+
+func waitHealthy(url string, deadline time.Duration) error {
+	client := &http.Client{Timeout: time.Second}
+	until := time.Now().Add(deadline)
+	for time.Now().Before(until) {
+		resp, err := client.Get(url)
+		if err == nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			_ = resp.Body.Close()
+			if resp.StatusCode == 200 {
+				return nil
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("%s not healthy after %v", url, deadline)
+}

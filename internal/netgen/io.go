@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -62,8 +63,15 @@ func (ds *Dataset) Write(w io.Writer) error {
 		if b.InACL != nil {
 			writeACL(bw, b.Name, "in", b.InACL)
 		}
-		for port, acl := range b.PortACL {
-			writeACL(bw, b.Name, strconv.Itoa(port), acl)
+		// Sorted port order, not map order, so the same dataset always
+		// serializes to the same bytes (diffable snapshots).
+		ports := make([]int, 0, len(b.PortACL))
+		for port := range b.PortACL {
+			ports = append(ports, port)
+		}
+		sort.Ints(ports)
+		for _, port := range ports {
+			writeACL(bw, b.Name, strconv.Itoa(port), b.PortACL[port])
 		}
 	}
 	return bw.Flush()

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"errors"
+	"io"
 	"net/http"
 	"os"
 
@@ -35,6 +37,18 @@ func (s *Server) captureCheckpoint() *checkpoint.Source {
 // before I do something risky" button. 503 when the server was started
 // without a checkpoint directory.
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	// The endpoint takes no body, but a client that sends one anyway is
+	// bounded like every other POST: drain up to the limit, 413 past it.
+	r.Body = http.MaxBytesReader(w, r.Body, maxSingleBody)
+	if _, err := io.Copy(io.Discard, r.Body); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", int64(maxSingleBody))
+			return
+		}
+		writeErr(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
 	if s.ckpt == nil {
 		writeErr(w, http.StatusServiceUnavailable, "checkpointing disabled: start apserver with -checkpoint-dir")
 		return
@@ -53,4 +67,28 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		"sizeBytes": size,
 		"epoch":     s.c.Manager.Version(),
 	})
+}
+
+// handleCheckpointLatest streams the newest committed checkpoint file —
+// the peer-bootstrap path: a worker joining (or rejoining) the fleet
+// fetches a sibling's checkpoint and warm-restores from it instead of
+// cold-rebuilding from rules. The file is immutable once committed
+// (saves create new names), so serving it takes no lock and races no
+// writer; ServeFile handles range requests and conditional gets.
+func (s *Server) handleCheckpointLatest(w http.ResponseWriter, r *http.Request) {
+	if s.ckpt == nil {
+		writeErr(w, http.StatusServiceUnavailable, "checkpointing disabled: start apserver with -checkpoint-dir")
+		return
+	}
+	path, err := s.ckpt.Latest()
+	if errors.Is(err, os.ErrNotExist) {
+		writeErr(w, http.StatusNotFound, "no checkpoint committed yet")
+		return
+	}
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	http.ServeFile(w, r, path)
 }

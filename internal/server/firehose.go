@@ -10,7 +10,6 @@ package server
 // reconnect or a warm restart without double-applying.
 
 import (
-	"encoding/json"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -205,8 +204,7 @@ type RulesBatchResponse struct {
 // either the pre-batch or the post-batch epoch, never a partial batch.
 func (s *Server) handleRulesBatch(w http.ResponseWriter, r *http.Request) {
 	var reqs []RuleDeltaRequest
-	if err := json.NewDecoder(r.Body).Decode(&reqs); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad JSON: %v", err)
+	if !s.decodeBody(w, r, maxBatchBody, &reqs) {
 		return
 	}
 	if len(reqs) > maxBatch {

@@ -1,0 +1,92 @@
+package server
+
+import (
+	"testing"
+
+	"apclassifier"
+	"apclassifier/internal/checkpoint"
+	"apclassifier/internal/netgen"
+	"net/http/httptest"
+)
+
+// TestRulesBatchSeqSurvivesRestart: the ?seq= redelivery contract must
+// hold across a process restart, not just within one. The delivery
+// cursor rides the checkpoint (META v2), so a warm-restored server
+// acknowledges a replayed batch without re-applying it — the exact
+// scenario of a rules firehose redelivering after its consumer crashed
+// between apply and ack.
+func TestRulesBatchSeqSurvivesRestart(t *testing.T) {
+	ds := netgen.Internet2Like(netgen.Config{Seed: 71, RuleScale: 0.01})
+	c, err := apclassifier.New(ds, apclassifier.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := checkpoint.Open(t.TempDir(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(c)
+	runner := s.EnableCheckpoints(dir, checkpoint.RunnerConfig{})
+	ts := httptest.NewServer(s.Handler())
+
+	box := ds.Boxes[0].Name
+	q := QueryRequest{Ingress: box, Dst: "240.9.1.2"}
+	var before QueryResponse
+	postJSON(t, ts.URL+"/query", q, &before)
+	batch := []RuleDeltaRequest{
+		{Op: "add-fwd", Box: box, Prefix: "240.9.0.0/16", Port: 0},
+		{Op: "set-port-acl", Box: box, Port: 0, ACL: &ACLSpec{Default: "permit"}},
+	}
+	var resp RulesBatchResponse
+	if code := postJSON(t, ts.URL+"/rules/batch?seq=5", batch, &resp); code != 200 || !resp.Applied || resp.Seq != 5 {
+		t.Fatalf("first delivery: status %d, %+v", code, resp)
+	}
+	var applied QueryResponse
+	postJSON(t, ts.URL+"/query", q, &applied)
+	if equalStrings(applied.Path, before.Path) && equalStrings(applied.Drops, before.Drops) {
+		t.Fatalf("delta had no observable effect: %+v vs %+v", before, applied)
+	}
+	epoch := resp.TreeVersion
+
+	// "Crash" after the ack was lost: final checkpoint, server gone.
+	if code := postJSON(t, ts.URL+"/checkpoint", nil, nil); code != 200 {
+		t.Fatalf("forced checkpoint: status %d", code)
+	}
+	ts.Close()
+	runner.Stop()
+
+	// Warm restore from the same directory — the cursor comes back too.
+	restored, err := apclassifier.RestoreDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.DeltaSeq() != 5 {
+		t.Fatalf("restored cursor %d, want 5", restored.DeltaSeq())
+	}
+	rs := New(restored)
+	rts := httptest.NewServer(rs.Handler())
+	defer rts.Close()
+
+	// The firehose redelivers seq 5: acknowledged, not re-applied. The
+	// epoch not moving is the proof — a real apply publishes a new tree.
+	if code := postJSON(t, rts.URL+"/rules/batch?seq=5", batch, &resp); code != 200 {
+		t.Fatalf("redelivery: status %d", code)
+	}
+	if resp.Applied || resp.Seq != 5 {
+		t.Fatalf("redelivery after restart applied: %+v", resp)
+	}
+	if resp.TreeVersion != epoch {
+		t.Fatalf("redelivery moved the epoch %d -> %d", epoch, resp.TreeVersion)
+	}
+	var after QueryResponse
+	postJSON(t, rts.URL+"/query", q, &after)
+	if !equalStrings(after.Path, applied.Path) || !equalStrings(after.Drops, applied.Drops) {
+		t.Fatalf("restored state lost the delta: %+v vs %+v", applied, after)
+	}
+
+	// The stream resumes: the next cursor value applies normally.
+	next := []RuleDeltaRequest{{Op: "add-fwd", Box: box, Prefix: "240.10.0.0/16", Port: 0}}
+	if code := postJSON(t, rts.URL+"/rules/batch?seq=6", next, &resp); code != 200 || !resp.Applied || resp.Seq != 6 {
+		t.Fatalf("resume at seq 6: status %d, %+v", code, resp)
+	}
+}

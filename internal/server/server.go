@@ -13,6 +13,8 @@
 //	POST /rules/batch[?seq=n]       → [delta, ...] → one epoch per batch (≤256, idempotent via seq)
 //	POST /reconstruct               → {"weighted":false}
 //	POST /checkpoint                → force a checkpoint save (503 if disabled)
+//	GET  /checkpoint/latest         → newest committed checkpoint file (peer bootstrap)
+//	GET  /healthz                   → readiness: 200 serving, 503 draining; epoch + delta cursor
 //	GET  /verify/loops              → loop-freedom check over all packets
 //	GET  /verify/reach?from=a&host=h → exact reachability summary
 //	GET  /metrics                   → Prometheus text exposition of the obs registry
@@ -30,17 +32,19 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
-	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"apclassifier"
 	"apclassifier/internal/aptree"
 	"apclassifier/internal/checkpoint"
+	"apclassifier/internal/cluster"
 	"apclassifier/internal/netgen"
 	"apclassifier/internal/network"
 	"apclassifier/internal/obs"
@@ -78,6 +82,16 @@ var (
 // requests — throughput saturates well before this size (EXPERIMENTS.md).
 const maxBatch = 256
 
+// Byte bounds on POST bodies, enforced with http.MaxBytesReader before
+// any decode: a hostile Content-Length (or chunked stream) is cut off
+// at the limit and answered with 413 instead of being buffered. Batch
+// endpoints get the larger bound (an ACL-heavy rules batch is big);
+// single-object endpoints a tight one.
+const (
+	maxSingleBody = 64 << 10
+	maxBatchBody  = 8 << 20
+)
+
 // batchSizeBuckets are power-of-two size buckets up to maxBatch.
 var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
 
@@ -105,6 +119,17 @@ type Server struct {
 	// in-flight request, so steady-state batches reuse classify scratch,
 	// result slices and walker state instead of allocating them.
 	bufs sync.Pool
+
+	// part is this worker's slice of the cluster partition; the zero
+	// value (set unless SetPartition was called) owns all of header
+	// space — the single-process configuration.
+	part cluster.Partition
+
+	// draining flips when graceful shutdown begins: /healthz answers 503
+	// so the router (or any load balancer) stops routing new work here
+	// while in-flight requests finish. Queries keep being served until
+	// the listener actually closes — drain is advisory, not a gate.
+	draining atomic.Bool
 }
 
 // New builds a server around a compiled classifier. The classifier's
@@ -116,6 +141,37 @@ func New(c *apclassifier.Classifier) *Server {
 	c.RegisterMetrics(obs.Default)
 	c.SetTraceSink(s.trace)
 	return s
+}
+
+// SetPartition restricts the server to one shard of a cluster
+// partition: queries outside the slice are refused with 421 Misdirected
+// Request (a router bug, or a stale shard table — never silently served
+// by the wrong worker's cache and counters). Call before Handler serves
+// traffic. The zero Partition restores single-process behavior.
+func (s *Server) SetPartition(p cluster.Partition) { s.part = p }
+
+// StartDrain marks the server draining: /healthz flips to 503 so
+// routers stop sending new work, while every other endpoint keeps
+// answering until the HTTP server is shut down. Safe to call more than
+// once. This is step one of the rolling-restart sequence; see
+// cmd/apserver's signal handler for the full ordering.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// decodeBody bounds the request body at limit bytes and decodes it into
+// v, answering 413 on overflow and 400 on malformed JSON. The returned
+// bool reports whether the handler should proceed.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, limit int64, v interface{}) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", limit)
+		} else {
+			writeErr(w, http.StatusBadRequest, "bad JSON: %v", err)
+		}
+		return false
+	}
+	return true
 }
 
 // Handler returns the HTTP handler (mountable under any mux).
@@ -131,6 +187,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /verify/loops", s.handleLoops)
 	mux.HandleFunc("GET /verify/reach", s.handleReach)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /checkpoint/latest", s.handleCheckpointLatest)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/trace", s.handleTrace)
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -209,13 +267,17 @@ type QueryResponse struct {
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad JSON: %v", err)
+	if !s.decodeBody(w, r, maxSingleBody, &req) {
 		return
 	}
 	f, err := req.fields()
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !s.part.Owns(req.Ingress, f) {
+		writeErr(w, http.StatusMisdirectedRequest,
+			"query belongs to shard %d, this worker serves %s", s.part.Shard(req.Ingress, f), s.part)
 		return
 	}
 	s.mu.RLock()
@@ -298,8 +360,7 @@ func (q *QueryRequest) fields() (rule.Fields, error) {
 // maxBatch are refused with 413 Content Too Large.
 func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 	var reqs []QueryRequest
-	if err := json.NewDecoder(r.Body).Decode(&reqs); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad JSON: %v", err)
+	if !s.decodeBody(w, r, maxBatchBody, &reqs) {
 		return
 	}
 	if len(reqs) > maxBatch {
@@ -319,6 +380,11 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 		f, err := reqs[i].fields()
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, "query %d: %v", i, err)
+			return
+		}
+		if !s.part.Owns(reqs[i].Ingress, f) {
+			writeErr(w, http.StatusMisdirectedRequest,
+				"query %d belongs to shard %d, this worker serves %s", i, s.part.Shard(reqs[i].Ingress, f), s.part)
 			return
 		}
 		ingress[i] = s.c.Net.BoxByName(reqs[i].Ingress)
@@ -356,8 +422,7 @@ type RuleRequest struct {
 
 func (s *Server) parseRule(w http.ResponseWriter, r *http.Request) (int, rule.Prefix, int, bool) {
 	var req RuleRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad JSON: %v", err)
+	if !s.decodeBody(w, r, maxSingleBody, &req) {
 		return 0, rule.Prefix{}, 0, false
 	}
 	box := s.c.Net.BoxByName(req.Box)
@@ -410,8 +475,15 @@ func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		Weighted bool `json:"weighted"`
 	}
-	//lint:ignore errdrop an absent or malformed body legitimately means unweighted
-	json.NewDecoder(r.Body).Decode(&req) // empty body = unweighted
+	r.Body = http.MaxBytesReader(w, r.Body, maxSingleBody)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", int64(maxSingleBody))
+			return
+		}
+		// An absent or malformed body legitimately means unweighted.
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	before := s.c.AverageDepth()
@@ -485,19 +557,29 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// parseIP parses a dotted quad.
-func parseIP(s string) (uint32, error) {
-	parts := strings.Split(s, ".")
-	if len(parts) != 4 {
-		return 0, fmt.Errorf("bad IPv4 address %q", s)
+// handleHealthz is the cluster readiness probe: 200 once the classifier
+// has a published epoch (true by construction — New and NewFromRestored
+// both publish before the handler exists) and the server is not
+// draining, 503 while draining so routers stop sending new work ahead
+// of the listener closing. The payload carries the reconstruction epoch
+// and the rule-delta cursor — what the router's skew gauges and "has
+// churn converged" checks consume.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := cluster.Health{
+		Ready:    !s.draining.Load(),
+		Draining: s.draining.Load(),
+		Shard:    s.part.String(),
+		Epoch:    s.c.Manager.Version(),
+		Seq:      s.c.DeltaSeq(),
 	}
-	var v uint32
-	for _, p := range parts {
-		n, err := strconv.Atoi(p)
-		if err != nil || n < 0 || n > 255 {
-			return 0, fmt.Errorf("bad IPv4 address %q", s)
-		}
-		v = v<<8 | uint32(n)
+	status := http.StatusOK
+	if !h.Ready {
+		status = http.StatusServiceUnavailable
 	}
-	return v, nil
+	writeJSON(w, status, h)
 }
+
+// parseIP parses a dotted quad. It delegates to the cluster package's
+// parser — the shard function hashes the parsed value, so the router
+// and the workers must share one parser or sharding would misdirect.
+func parseIP(s string) (uint32, error) { return cluster.ParseIPv4(s) }
