@@ -6,8 +6,8 @@ GO ?= go
 # Packages whose concurrency contracts are exercised under the race
 # detector (snapshot query path at the facade, Manager two-process
 # operation, frozen BDD views, HTTP server, background checkpointer,
-# experiment harness workers).
-RACE_PKGS := . ./internal/aptree ./internal/bdd ./internal/server ./internal/checkpoint ./internal/cluster ./internal/experiments ./internal/lint
+# experiment harness workers, pinned verification under rule churn).
+RACE_PKGS := . ./internal/aptree ./internal/bdd ./internal/server ./internal/checkpoint ./internal/cluster ./internal/experiments ./internal/lint ./internal/verify
 
 # Packages carrying apdebug-tagged sanitizer tests (post-GC BDD audits,
 # AP Tree leaf-partition checks, behavior-cache epoch assertions at the
@@ -41,17 +41,18 @@ COVER_OUT   := coverage-obs.out
 SMOKE_DIR := /tmp/apc-checkpoint-smoke
 
 # Fuzz targets exercised briefly by fuzz-smoke: the two binary decoders
-# that parse untrusted bytes, plus the flat-vs-pointer differential
-# harness (the compiled classify core must answer bit-identically to the
-# pointer descent on arbitrary rule sets and packets). A short -fuzztime
-# keeps CI fast; long runs are for dedicated fuzzing sessions.
+# that parse untrusted bytes, the flat-vs-pointer differential harness
+# (the compiled classify core must answer bit-identically to the pointer
+# descent on arbitrary rule sets and packets), and the interval-coded
+# AtomSet vs its map-of-IDs model. A short -fuzztime keeps CI fast; long
+# runs are for dedicated fuzzing sessions.
 FUZZ_TIME ?= 5s
 
 # bench-flat's -dur: long enough for stable per-network Mqps columns at
 # small scale, short enough for CI.
 FLAT_DUR := 100ms
 
-.PHONY: build test vet lint race apdebug bench-smoke bench-churn bench-flat cover checkpoint-smoke cluster-smoke fuzz-smoke check
+.PHONY: build test vet lint race apdebug bench-smoke bench-churn bench-flat cover checkpoint-smoke cluster-smoke fuzz-smoke verify-smoke check
 
 build:
 	$(GO) build ./...
@@ -119,6 +120,17 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzLoad$$' -fuzztime $(FUZZ_TIME) ./internal/bdd
 	$(GO) test -run '^$$' -fuzz '^FuzzCheckpointDecode$$' -fuzztime $(FUZZ_TIME) ./internal/checkpoint
 	$(GO) test -run '^$$' -fuzz '^FuzzFlatVsPointer$$' -fuzztime $(FUZZ_TIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzAtomSet$$' -fuzztime $(FUZZ_TIME) ./internal/predicate
+
+# Verification smoke: apverify's exhaustive sweeps on the small fat-tree
+# — loop freedom must hold, the injected loop must be found, and every
+# ingress × host pair must be reachable. Covers the CLI surface plus the
+# snapshot-native engine end to end; scale numbers live in EXPERIMENTS.md.
+verify-smoke:
+	$(GO) run ./cmd/apverify loops -net fattree -preset small
+	$(GO) run ./cmd/apverify loops -net fattree -preset small -inject-loop | grep VIOLATED
+	$(GO) run ./cmd/apverify reach -net fattree -preset small -all
+	$(GO) run ./cmd/apverify blackholes -net fattree -preset small -all
 
 cover:
 	$(GO) test -coverprofile=$(COVER_OUT) $(COVER_PKG)
@@ -127,5 +139,5 @@ cover:
 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit !(t+0 >= f+0) }' || \
 		{ echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
 
-check: build vet test lint race apdebug bench-smoke bench-churn bench-flat checkpoint-smoke cluster-smoke fuzz-smoke cover
+check: build vet test lint race apdebug bench-smoke bench-churn bench-flat checkpoint-smoke cluster-smoke fuzz-smoke verify-smoke cover
 	@echo "all gates passed"

@@ -335,6 +335,24 @@ func (c *Classifier) behaviorVia(bc *network.BehaviorCache, w *network.Walker, s
 	return b
 }
 
+// PinForVerify captures one consistent verification input: the published
+// epoch together with a deep copy of the topology as of that epoch.
+// Rule-delta batches mutate c.Net only inside the manager's write-locked
+// Update callback, so taking the pin and the copy under the manager's
+// read lock guarantees the pair is mutually consistent — no delta can
+// land between the snapshot load and the topology clone. The result is
+// immutable and stays valid under any amount of later churn; it is what
+// verify.New builds its Analyzer from.
+func (c *Classifier) PinForVerify() (*aptree.Snapshot, *network.Network) {
+	var snap *aptree.Snapshot
+	var net *network.Network
+	c.Manager.ReadPinned(func(s *aptree.Snapshot) {
+		snap = s
+		net = c.Net.Clone()
+	})
+	return snap, net
+}
+
 // NewWalker returns a reusable stage-2 traverser bound to this classifier,
 // for allocation-free hot query loops. One Walker per goroutine.
 func (c *Classifier) NewWalker() *network.Walker {

@@ -28,7 +28,7 @@ import (
 
 func main() {
 	scaleFlag := flag.String("scale", "", "dataset scale: small, mid (default) or full; overrides APBENCH_SCALE")
-	runFlag := flag.String("run", "all", "comma-separated experiment ids (tableI,fig4,fig9,fig10,mem,fig11,fig12,fig12par,fig13,fig14,fig14par,fig15,tableII,batch,optgap,ruleupdate,churn,scaling,flat,cluster) or 'all'")
+	runFlag := flag.String("run", "all", "comma-separated experiment ids (tableI,fig4,fig9,fig10,mem,fig11,fig12,fig12par,fig13,fig14,fig14par,fig15,tableII,batch,optgap,ruleupdate,churn,scaling,flat,cluster,verify) or 'all'")
 	dur := flag.Duration("dur", 200*time.Millisecond, "minimum measurement duration per throughput point")
 	trees := flag.Int("trees", 0, "random trees for fig4/fig9/fig10/fig12 (0 = scale default)")
 	batchSize := flag.Int("batch", 0, "measure the batch experiment at this single batch size (0 = 16/64/256 sweep)")
@@ -57,15 +57,27 @@ func main() {
 	}
 	sel := func(id string) bool { return want["all"] || want[id] }
 
-	fmt.Printf("building datasets at scale %q (internet2 ×%.3g, stanford ×%.3g)...\n",
-		scale.Name, scale.I2, scale.SF)
-	start := time.Now()
-	env, err := experiments.NewEnv(scale)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
+	// The verify experiment generates its own fat-tree datasets; skip the
+	// (expensive) shared Env when nothing else was selected.
+	needEnv := want["all"]
+	for id := range want {
+		if id != "" && id != "all" && id != "verify" {
+			needEnv = true
+		}
 	}
-	fmt.Printf("datasets compiled in %v\n\n", time.Since(start).Round(time.Millisecond))
+	var env *experiments.Env
+	if needEnv {
+		fmt.Printf("building datasets at scale %q (internet2 ×%.3g, stanford ×%.3g)...\n",
+			scale.Name, scale.I2, scale.SF)
+		start := time.Now()
+		var err error
+		env, err = experiments.NewEnv(scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("datasets compiled in %v\n\n", time.Since(start).Round(time.Millisecond))
+	}
 
 	print := func(tabs ...*experiments.Table) {
 		for _, t := range tabs {
@@ -142,6 +154,14 @@ func main() {
 	}
 	if sel("cluster") {
 		print(env.ClusterThroughput([]int{1, 2, 4, 8}, 256, 4, 5**dur))
+	}
+	if sel("verify") {
+		tab, err := experiments.Verify(experiments.VerifyPresets(scale))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		print(tab)
 	}
 
 	if *metrics != "" {

@@ -2,37 +2,77 @@
 // exact reachability sets, loop freedom, blackholes, waypoint enforcement,
 // pairwise isolation, and the box connectivity matrix.
 //
+// The first argument selects a subcommand; dataset flags follow it.
+//
 // Usage examples:
 //
-//	apverify -net internet2 -scale 0.02 -loops -matrix
-//	apverify -load snapshot.txt -reach seattle:h2_9
-//	apverify -net stanford -scale 0.01 -waypoint zone00:h6_14:bbra
-//	apverify -net internet2 -isolated seattle:atlanta
+//	apverify loops -net internet2 -scale 0.02
+//	apverify loops -net fattree -preset large
+//	apverify reach -net fattree -preset small -from p00-edge00 -host p01e00h0
+//	apverify reach -net fattree -preset small -all
+//	apverify blackholes -net internet2 -from seattle
+//	apverify waypoint -net stanford -scale 0.01 -from zone00 -host h6_14 -via bbra
+//	apverify isolated -net internet2 -from seattle -to atlanta
+//	apverify matrix -net internet2
+//	apverify reach -load snapshot.txt -from seattle -host h2_9
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
+	"time"
 
 	"apclassifier"
 	"apclassifier/internal/netgen"
 	"apclassifier/internal/verify"
 )
 
+const usage = `usage: apverify <command> [flags]
+
+commands:
+  reach       exact packet set reaching -host from -from (or -all hosts × ingresses)
+  loops       enumerate every (ingress, atom) pair that loops
+  blackholes  packet set dropped with no route from -from (or -all ingresses)
+  waypoint    packets reaching -host from -from that bypass -via
+  isolated    report whether -to is unreachable from -from
+  matrix      box connectivity matrix (atoms from row-ingress traversing column-box)
+
+dataset flags (shared): -net {internet2,stanford,multitenant,fattree}
+  -scale F -seed N (generated nets), -preset {small,mid,large} -inject-loop
+  (fattree), -load FILE (snapshot instead of generating)
+`
+
 func main() {
-	netName := flag.String("net", "internet2", "dataset: internet2, stanford or multitenant")
-	scale := flag.Float64("scale", 0.02, "rule-volume scale")
-	seed := flag.Int64("seed", 1, "generator seed")
-	load := flag.String("load", "", "load a dataset snapshot file instead of generating")
-	loops := flag.Bool("loops", false, "check loop freedom for all packets from all ingresses")
-	matrix := flag.Bool("matrix", false, "print the box connectivity matrix")
-	reach := flag.String("reach", "", "box:host — print the exact packet set reaching host from box")
-	blackholes := flag.String("blackholes", "", "box — print the packet set blackholed from box")
-	waypoint := flag.String("waypoint", "", "box:host:waypoint — packets reaching host from box that bypass waypoint")
-	isolated := flag.String("isolated", "", "boxA:boxB — report whether boxB is unreachable from boxA")
-	flag.Parse()
+	if len(os.Args) < 2 {
+		fmt.Fprint(os.Stderr, usage)
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet("apverify "+cmd, flag.ExitOnError)
+	netName := fs.String("net", "internet2", "dataset: internet2, stanford, multitenant or fattree")
+	scale := fs.Float64("scale", 0.02, "rule-volume scale (internet2/stanford)")
+	seed := fs.Int64("seed", 1, "generator seed (internet2/stanford/multitenant)")
+	preset := fs.String("preset", "small", "fat-tree preset: small, mid or large")
+	injectLoop := fs.Bool("inject-loop", false, "fattree: inject a routing loop on 10.254.0.0/16")
+	load := fs.String("load", "", "load a dataset snapshot file instead of generating")
+	from := fs.String("from", "", "ingress box name")
+	host := fs.String("host", "", "destination host name")
+	via := fs.String("via", "", "required waypoint box name")
+	to := fs.String("to", "", "target box name (isolated)")
+	all := fs.Bool("all", false, "sweep every ingress (reach: every ingress × host pair)")
+	switch cmd {
+	case "reach", "loops", "blackholes", "waypoint", "isolated", "matrix":
+	case "-h", "-help", "--help", "help":
+		fmt.Print(usage)
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "apverify: unknown command %q\n%s", cmd, usage)
+		os.Exit(2)
+	}
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
 
 	var ds *netgen.Dataset
 	var err error
@@ -50,6 +90,13 @@ func main() {
 		ds = netgen.StanfordLike(netgen.Config{Seed: *seed, RuleScale: *scale})
 	case *netName == "multitenant":
 		ds = netgen.MultiTenantLike(4, 3, *seed)
+	case *netName == "fattree":
+		var cfg netgen.FatTreeConfig
+		cfg, err = netgen.FatTreePreset(*preset)
+		if err == nil {
+			cfg.InjectLoop = *injectLoop
+			ds = netgen.FatTree(cfg)
+		}
 	default:
 		err = fmt.Errorf("unknown network %q", *netName)
 	}
@@ -57,13 +104,15 @@ func main() {
 		fatal(err)
 	}
 
+	buildStart := time.Now()
 	c, err := apclassifier.New(ds, apclassifier.Options{})
 	if err != nil {
 		fatal(err)
 	}
 	a := verify.New(c)
-	fmt.Printf("%s: %d boxes, %d rules, %d predicates, %d atoms\n",
-		ds.Name, len(ds.Boxes), ds.NumRules(), c.NumPredicates(), a.NumAtoms())
+	fmt.Printf("%s: %d boxes, %d rules, %d predicates, %d atoms (compiled in %v)\n",
+		ds.Name, len(ds.Boxes), ds.NumRules(), c.NumPredicates(), a.NumAtoms(),
+		time.Since(buildStart).Round(time.Millisecond))
 
 	boxID := func(name string) int {
 		id := c.Net.BoxByName(name)
@@ -72,40 +121,69 @@ func main() {
 		}
 		return id
 	}
+	need := func(val *string, flagName string) string {
+		if *val == "" {
+			fatal(fmt.Errorf("%s requires -%s", cmd, flagName))
+		}
+		return *val
+	}
 
-	if *reach != "" {
-		parts := split(*reach, 2)
-		set := a.ReachSet(boxID(parts[0]), parts[1])
-		fmt.Printf("reach(%s -> %s): %s\n", parts[0], parts[1], a.Describe(set))
-	}
-	if *blackholes != "" {
-		set := a.Blackholes(boxID(*blackholes))
-		fmt.Printf("blackholes(%s): %s\n", *blackholes, a.Describe(set))
-	}
-	if *waypoint != "" {
-		parts := split(*waypoint, 3)
-		set := a.WaypointViolations(boxID(parts[0]), parts[1], boxID(parts[2]))
+	start := time.Now()
+	switch cmd {
+	case "reach":
+		if *all {
+			pairs, nonEmpty := 0, 0
+			for ingress := range c.Net.Boxes {
+				for _, h := range ds.Hosts {
+					pairs++
+					if !a.ReachSet(ingress, h.Name).Empty() {
+						nonEmpty++
+					}
+				}
+			}
+			fmt.Printf("all-pairs reachability: %d ingress × host pairs, %d non-empty, %v\n",
+				pairs, nonEmpty, time.Since(start).Round(time.Millisecond))
+			break
+		}
+		f, h := need(from, "from"), need(host, "host")
+		set := a.ReachSet(boxID(f), h)
+		fmt.Printf("reach(%s -> %s): %s\n", f, h, a.Describe(set))
+	case "blackholes":
+		if *all {
+			atoms := 0
+			for ingress := range c.Net.Boxes {
+				atoms += a.Blackholes(ingress).NumAtoms()
+			}
+			fmt.Printf("blackholes: %d (ingress, atom) pairs across %d ingresses, %v\n",
+				atoms, len(c.Net.Boxes), time.Since(start).Round(time.Millisecond))
+			break
+		}
+		f := need(from, "from")
+		set := a.Blackholes(boxID(f))
+		fmt.Printf("blackholes(%s): %s\n", f, a.Describe(set))
+	case "waypoint":
+		f, h, v := need(from, "from"), need(host, "host"), need(via, "via")
+		set := a.WaypointViolations(boxID(f), h, boxID(v))
 		status := "HOLDS"
-		if a.Describe(set) != "(empty)" {
+		if !set.Empty() {
 			status = "VIOLATED"
 		}
-		fmt.Printf("waypoint %s for %s->%s: %s (%s)\n", parts[2], parts[0], parts[1], status, a.Describe(set))
-	}
-	if *isolated != "" {
-		parts := split(*isolated, 2)
-		from, to := boxID(parts[0]), boxID(parts[1])
-		if a.Isolated(from, to) {
-			fmt.Printf("isolation %s -x- %s: HOLDS\n", parts[0], parts[1])
+		fmt.Printf("waypoint %s for %s->%s: %s (%s)\n", v, f, h, status, a.Describe(set))
+	case "isolated":
+		f, tn := need(from, "from"), need(to, "to")
+		fromID, toID := boxID(f), boxID(tn)
+		if a.Isolated(fromID, toID) {
+			fmt.Printf("isolation %s -x- %s: HOLDS\n", f, tn)
 		} else {
-			fmt.Printf("isolation %s -x- %s: VIOLATED, e.g. %s\n", parts[0], parts[1], a.Describe(a.CanReach(from, to)))
+			fmt.Printf("isolation %s -x- %s: VIOLATED, e.g. %s\n", f, tn, a.Describe(a.CanReach(fromID, toID)))
 		}
-	}
-	if *loops {
+	case "loops":
 		ls := a.Loops()
+		elapsed := time.Since(start).Round(time.Millisecond)
 		if len(ls) == 0 {
-			fmt.Println("loop freedom: HOLDS for every packet from every ingress")
+			fmt.Printf("loop freedom: HOLDS for every packet from every ingress (%v)\n", elapsed)
 		} else {
-			fmt.Printf("loop freedom: VIOLATED by %d (ingress, atom) pairs\n", len(ls))
+			fmt.Printf("loop freedom: VIOLATED by %d (ingress, atom) pairs (%v)\n", len(ls), elapsed)
 			for i, l := range ls {
 				if i == 5 {
 					fmt.Printf("  ... and %d more\n", len(ls)-5)
@@ -114,9 +192,25 @@ func main() {
 				fmt.Printf("  atom %d from %s\n", l.AtomID, c.Net.Boxes[l.Ingress].Name)
 			}
 		}
-	}
-	if *matrix {
+	case "matrix":
 		m := a.ReachabilityMatrix()
+		fmt.Printf("(computed in %v)\n", time.Since(start).Round(time.Millisecond))
+		if len(m) > 40 {
+			// Too wide to print: summarize row totals instead.
+			for i, row := range m {
+				reach := 0
+				for j, v := range row {
+					if j != i && v > 0 {
+						reach++
+					}
+				}
+				if i < 10 || reach != len(m)-1 {
+					fmt.Printf("%14s reaches %d/%d boxes\n", c.Net.Boxes[i].Name, reach, len(m)-1)
+				}
+			}
+			fmt.Printf("(%d boxes total; fully-connected rows beyond the first 10 elided)\n", len(m))
+			break
+		}
 		fmt.Printf("%14s", "")
 		for _, b := range c.Net.Boxes {
 			fmt.Printf("%7.6s", b.Name)
@@ -130,14 +224,6 @@ func main() {
 			fmt.Println()
 		}
 	}
-}
-
-func split(s string, n int) []string {
-	parts := strings.Split(s, ":")
-	if len(parts) != n {
-		fatal(fmt.Errorf("expected %d colon-separated fields in %q", n, s))
-	}
-	return parts
 }
 
 func fatal(err error) {

@@ -166,6 +166,19 @@ func (m *Manager) publishLocked() {
 // updates and reconstructions.
 func (m *Manager) Snapshot() *Snapshot { return m.snap.Load() }
 
+// ReadPinned runs fn with the published epoch while holding the read
+// lock, guaranteeing no Update or Reconstruct swap lands between the pin
+// and whatever epoch-coupled state fn captures alongside it. Mutations
+// that must stay consistent with the snapshot (the facade's topology
+// tables, for instance) happen inside Update's write-locked callback, so
+// fn observes them atomically with the epoch. fn must not call back into
+// the manager and must not block on other manager users.
+func (m *Manager) ReadPinned(fn func(s *Snapshot)) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	fn(m.snap.Load())
+}
+
 // SetFlatCompile toggles publish-time compilation of the flat classify
 // core and republishes the current epoch in the chosen form. On is the
 // default; the facade turns it off when APC_FLAT=0, and A/B benchmarks

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"apclassifier/internal/bdd"
+	"apclassifier/internal/predicate"
 )
 
 // MaxOptimalPreds bounds BuildOptimal's input size; the search memoizes
@@ -24,16 +25,13 @@ func BuildOptimal(in Input) *Tree {
 		panic(fmt.Sprintf("aptree: BuildOptimal limited to %d predicates, got %d", MaxOptimalPreds, len(in.Live)))
 	}
 	t := &Tree{D: in.D, preds: append([]bdd.Ref(nil), in.Preds...), CountVisits: true}
-	b := &builder{in: in, t: t, rsets: make([][]int32, len(in.Preds))}
+	b := &builder{in: in, t: t, rsets: make([]predicate.AtomSet, len(in.Preds))}
 	posOf := make(map[int32]uint, len(in.Live))
 	for i, id := range in.Live {
-		b.rsets[id] = in.Atoms.R(int(id))
+		b.rsets[id] = in.Atoms.RSet(int(id))
 		posOf[id] = uint(i)
 	}
-	all := make([]int32, in.Atoms.N())
-	for i := range all {
-		all[i] = int32(i)
-	}
+	all := predicate.AtomRange(0, int32(in.Atoms.N()))
 	o := &optimizer{b: b, posOf: posOf, memo: map[string]optEntry{}}
 	allMask := uint32(1)<<uint(len(in.Live)) - 1
 	t.root = o.build(allMask, in.Live, all, 0)
@@ -53,19 +51,22 @@ type optimizer struct {
 	memo  map[string]optEntry
 }
 
-func (o *optimizer) key(qmask uint32, s []int32) string {
+func (o *optimizer) key(qmask uint32, s predicate.AtomSet) string {
 	var sb strings.Builder
 	sb.WriteString(strconv.FormatUint(uint64(qmask), 16))
-	for _, a := range s {
+	s.EachRun(func(lo, hi int32) bool {
 		sb.WriteByte(':')
-		sb.WriteString(strconv.FormatInt(int64(a), 36))
-	}
+		sb.WriteString(strconv.FormatInt(int64(lo), 36))
+		sb.WriteByte('-')
+		sb.WriteString(strconv.FormatInt(int64(hi), 36))
+		return true
+	})
 	return sb.String()
 }
 
 // cost computes F(Q,S) with memoization, recording the argmin predicate.
-func (o *optimizer) cost(qmask uint32, q []int32, s []int32) int {
-	if len(s) == 1 {
+func (o *optimizer) cost(qmask uint32, q []int32, s predicate.AtomSet) int {
+	if s.Len() == 1 {
 		return 0
 	}
 	k := o.key(qmask, s)
@@ -77,33 +78,33 @@ func (o *optimizer) cost(qmask uint32, q []int32, s []int32) int {
 		if qmask&(1<<o.posOf[p]) == 0 {
 			continue
 		}
-		st := intersect(s, o.b.rset(p))
-		if len(st) == 0 || len(st) == len(s) {
+		st := s.Intersect(o.b.rset(p))
+		if st.Empty() || st.Len() == s.Len() {
 			continue
 		}
-		sf := subtract(s, o.b.rset(p))
+		sf := s.Diff(o.b.rset(p))
 		q2 := qmask &^ (1 << o.posOf[p])
-		c := o.cost(q2, q, st) + o.cost(q2, q, sf) + len(s)
+		c := o.cost(q2, q, st) + o.cost(q2, q, sf) + s.Len()
 		if best.cost < 0 || c < best.cost {
 			best = optEntry{cost: c, pred: p}
 		}
 	}
 	if best.cost < 0 {
-		panic(fmt.Sprintf("aptree: %d atoms indistinguishable by remaining predicates", len(s)))
+		panic(fmt.Sprintf("aptree: %d atoms indistinguishable by remaining predicates", s.Len()))
 	}
 	o.memo[k] = best
 	return best.cost
 }
 
 // build materializes the optimal tree by replaying the memoized argmins.
-func (o *optimizer) build(qmask uint32, q []int32, s []int32, depth int32) *Node {
-	if len(s) == 1 {
-		return o.b.leaf(s[0], depth)
+func (o *optimizer) build(qmask uint32, q []int32, s predicate.AtomSet, depth int32) *Node {
+	if s.Len() == 1 {
+		return o.b.leaf(s.Min(), depth)
 	}
 	o.cost(qmask, q, s) // ensure memo entry
 	e := o.memo[o.key(qmask, s)]
-	st := intersect(s, o.b.rset(e.pred))
-	sf := subtract(s, o.b.rset(e.pred))
+	st := s.Intersect(o.b.rset(e.pred))
+	sf := s.Diff(o.b.rset(e.pred))
 	q2 := qmask &^ (1 << o.posOf[e.pred])
 	return &Node{
 		Pred:  e.pred,

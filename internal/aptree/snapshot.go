@@ -1,6 +1,8 @@
 package aptree
 
 import (
+	"sync/atomic"
+
 	"apclassifier/internal/bdd"
 	"apclassifier/internal/predicate"
 )
@@ -41,6 +43,10 @@ type Snapshot struct {
 
 	count  bool
 	visits visitView
+
+	// atomView caches the lazily built per-epoch atom index (see
+	// Snapshot.Atoms in atomview.go). CAS-installed; benign build race.
+	atomView atomic.Pointer[AtomView]
 }
 
 // classifyPointer is the pointer-tree stage-1 walk, visit counting

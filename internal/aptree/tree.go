@@ -108,17 +108,14 @@ type Input struct {
 // Build constructs an AP Tree with the chosen method.
 func Build(in Input, method Method) *Tree {
 	t := &Tree{D: in.D, preds: append([]bdd.Ref(nil), in.Preds...), CountVisits: true}
-	b := &builder{in: in, t: t, rsets: make([][]int32, len(in.Preds))}
+	b := &builder{in: in, t: t, rsets: make([]predicate.AtomSet, len(in.Preds))}
 	for _, id := range in.Live {
 		if int(id) >= len(in.Preds) {
 			panic(fmt.Sprintf("aptree: live id %d out of range", id))
 		}
-		b.rsets[id] = in.Atoms.R(int(id))
+		b.rsets[id] = in.Atoms.RSet(int(id))
 	}
-	all := make([]int32, in.Atoms.N())
-	for i := range all {
-		all[i] = int32(i)
-	}
+	all := predicate.AtomRange(0, int32(in.Atoms.N()))
 	switch method {
 	case MethodOrder:
 		t.root = b.buildFixed(in.Live, all, 0)
@@ -142,21 +139,22 @@ func Build(in Input, method Method) *Tree {
 type builder struct {
 	in    Input
 	t     *Tree
-	rsets [][]int32 // R(p) by predicate ID, precomputed for live IDs
+	rsets []predicate.AtomSet // R(p) by predicate ID, precomputed for live IDs
 }
 
-func (b *builder) weight(s []int32) float64 {
+func (b *builder) weight(s predicate.AtomSet) float64 {
 	if b.in.Weights == nil {
-		return float64(len(s))
+		return float64(s.Len())
 	}
 	w := 0.0
-	for _, a := range s {
+	s.Each(func(a int32) bool {
 		w += b.in.Weights[a]
-	}
+		return true
+	})
 	return w
 }
 
-func (b *builder) rset(p int32) []int32 { return b.rsets[p] }
+func (b *builder) rset(p int32) predicate.AtomSet { return b.rsets[p] }
 
 func (b *builder) leaf(atom int32, depth int32) *Node {
 	ref := b.in.Atoms.List[atom]
@@ -173,16 +171,16 @@ func (b *builder) leaf(atom int32, depth int32) *Node {
 
 // buildFixed places predicates in the given order, skipping (pruning) any
 // predicate that does not split the atom set reaching the node.
-func (b *builder) buildFixed(order []int32, s []int32, depth int32) *Node {
-	if len(s) == 1 {
-		return b.leaf(s[0], depth)
+func (b *builder) buildFixed(order []int32, s predicate.AtomSet, depth int32) *Node {
+	if s.Len() == 1 {
+		return b.leaf(s.Min(), depth)
 	}
 	for i, p := range order {
-		st := intersect(s, b.rset(p))
-		if len(st) == 0 || len(st) == len(s) {
+		st := s.Intersect(b.rset(p))
+		if st.Empty() || st.Len() == s.Len() {
 			continue
 		}
-		sf := subtract(s, b.rset(p))
+		sf := s.Diff(b.rset(p))
 		return &Node{
 			Pred:  p,
 			Depth: depth,
@@ -190,7 +188,7 @@ func (b *builder) buildFixed(order []int32, s []int32, depth int32) *Node {
 			F:     b.buildFixed(order[i+1:], sf, depth+1),
 		}
 	}
-	panic(fmt.Sprintf("aptree: %d atoms indistinguishable by remaining predicates", len(s)))
+	panic(fmt.Sprintf("aptree: %d atoms indistinguishable by remaining predicates", s.Len()))
 }
 
 // quickOrder returns live predicates in descending |R(p)| (or descending
@@ -200,7 +198,7 @@ func quickOrder(in Input) []int32 {
 	order := append([]int32(nil), in.Live...)
 	w := make(map[int32]float64, len(order))
 	for _, p := range order {
-		w[p] = b.weight(in.Atoms.R(int(p)))
+		w[p] = b.weight(in.Atoms.RSet(int(p)))
 	}
 	sortStableBy(order, func(a, c int32) bool { return w[a] > w[c] })
 	return order
@@ -209,26 +207,26 @@ func quickOrder(in Input) []int32 {
 // buildOAPT is the optimized construction: at each subtree it selects a
 // predicate not inferior to any other candidate (§V-C) and recurses with
 // per-subtree candidate sets, so sibling subtrees may use different orders.
-func (b *builder) buildOAPT(q []int32, s []int32, depth int32) *Node {
-	if len(s) == 1 {
-		return b.leaf(s[0], depth)
+func (b *builder) buildOAPT(q []int32, s predicate.AtomSet, depth int32) *Node {
+	if s.Len() == 1 {
+		return b.leaf(s.Min(), depth)
 	}
 	// Restrict candidates to predicates that split s, and cache their
 	// restricted atom sets.
 	type cand struct {
 		p  int32
-		st []int32 // s ∩ R(p)
+		st predicate.AtomSet // s ∩ R(p)
 	}
 	var cands []cand
 	for _, p := range q {
-		st := intersect(s, b.rset(p))
-		if len(st) == 0 || len(st) == len(s) {
+		st := s.Intersect(b.rset(p))
+		if st.Empty() || st.Len() == s.Len() {
 			continue
 		}
 		cands = append(cands, cand{p, st})
 	}
 	if len(cands) == 0 {
-		panic(fmt.Sprintf("aptree: %d atoms indistinguishable by remaining predicates", len(s)))
+		panic(fmt.Sprintf("aptree: %d atoms indistinguishable by remaining predicates", s.Len()))
 	}
 	best := 0
 	for i := 1; i < len(cands); i++ {
@@ -237,7 +235,7 @@ func (b *builder) buildOAPT(q []int32, s []int32, depth int32) *Node {
 		}
 	}
 	ps, st := cands[best].p, cands[best].st
-	sf := subtract(s, st)
+	sf := s.Diff(st)
 
 	var next []int32
 	if b.in.NoSplitFilter {
@@ -270,8 +268,8 @@ func (b *builder) buildOAPT(q []int32, s []int32, depth int32) *Node {
 // restrictions s∩R(pi) and s∩R(pj). It returns -1 if pi is superior
 // (strictly better as the subtree root), +1 if pj is, and 0 if they are in
 // the same order.
-func (b *builder) superior(si, sj, s []int32) int {
-	nij := intersectLen(si, sj)
+func (b *builder) superior(si, sj, s predicate.AtomSet) int {
+	nij := si.IntersectLen(sj)
 	wS := b.weight(s)
 	wi, wj := b.weight(si), b.weight(sj)
 	cmp := func(x, y float64) int {
@@ -288,13 +286,13 @@ func (b *builder) superior(si, sj, s []int32) int {
 		// Fig 6(b): disjoint within s. Superior has smaller w(s∩R(¬p)),
 		// i.e. larger w(s∩R(p)).
 		return cmp(wS-wi, wS-wj)
-	case nij == len(si) && nij == len(sj):
+	case nij == si.Len() && nij == sj.Len():
 		// Identical restrictions: interchangeable.
 		return 0
-	case nij == len(sj):
+	case nij == sj.Len():
 		// Fig 6(c): pj ⊂ pi within s.
 		return cmp(wi, wS-wj)
-	case nij == len(si):
+	case nij == si.Len():
 		// Fig 6(d): pi ⊂ pj within s.
 		return cmp(wS-wi, wj)
 	default:
@@ -466,59 +464,6 @@ func (t *Tree) Validate(ids []int32) error {
 		return check(n.F, depth+1)
 	}
 	return check(t.root, 0)
-}
-
-// intersect returns a∩b for sorted int32 slices.
-func intersect(a, b []int32) []int32 {
-	var out []int32
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			i++
-		case a[i] > b[j]:
-			j++
-		default:
-			out = append(out, a[i])
-			i++
-			j++
-		}
-	}
-	return out
-}
-
-// intersectLen returns |a∩b| without allocating.
-func intersectLen(a, b []int32) int {
-	n, i, j := 0, 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			i++
-		case a[i] > b[j]:
-			j++
-		default:
-			n++
-			i++
-			j++
-		}
-	}
-	return n
-}
-
-// subtract returns a∖b for sorted int32 slices.
-func subtract(a, b []int32) []int32 {
-	var out []int32
-	j := 0
-	for _, x := range a {
-		for j < len(b) && b[j] < x {
-			j++
-		}
-		if j < len(b) && b[j] == x {
-			continue
-		}
-		out = append(out, x)
-	}
-	return out
 }
 
 // sortStableBy is insertion sort; candidate lists are short-lived and the

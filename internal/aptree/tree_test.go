@@ -137,6 +137,42 @@ func TestPaperFig2Depths(t *testing.T) {
 	}
 }
 
+// intersect and subtract are sorted-slice set ops kept test-local so the
+// optimalSumDepth oracle stays independent of the AtomSet representation
+// the builder uses.
+func intersect(a, b []int32) []int32 {
+	var out []int32
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func subtract(a, b []int32) []int32 {
+	var out []int32
+	j := 0
+	for _, x := range a {
+		for j < len(b) && b[j] < x {
+			j++
+		}
+		if j < len(b) && b[j] == x {
+			continue
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
 // optimalSumDepth is the exact recursion of equation (1), memoized — the
 // oracle the OAPT heuristic approximates.
 func optimalSumDepth(rsets [][]int32, s []int32) int {
@@ -341,22 +377,22 @@ func TestEmptyPredicateSet(t *testing.T) {
 }
 
 func TestSetHelpers(t *testing.T) {
-	a := []int32{1, 3, 5, 7, 9}
-	b := []int32{3, 4, 5, 10}
-	if got := intersect(a, b); len(got) != 2 || got[0] != 3 || got[1] != 5 {
-		t.Fatalf("intersect = %v", got)
+	a := predicate.AtomSetOf(1, 3, 5, 7, 9)
+	b := predicate.AtomSetOf(3, 4, 5, 10)
+	if got := a.Intersect(b).Slice(); len(got) != 2 || got[0] != 3 || got[1] != 5 {
+		t.Fatalf("Intersect = %v", got)
 	}
-	if got := intersectLen(a, b); got != 2 {
-		t.Fatalf("intersectLen = %d", got)
+	if got := a.IntersectLen(b); got != 2 {
+		t.Fatalf("IntersectLen = %d", got)
 	}
-	if got := subtract(a, b); len(got) != 3 || got[0] != 1 || got[1] != 7 || got[2] != 9 {
-		t.Fatalf("subtract = %v", got)
+	if got := a.Diff(b).Slice(); len(got) != 3 || got[0] != 1 || got[1] != 7 || got[2] != 9 {
+		t.Fatalf("Diff = %v", got)
 	}
-	if got := intersect(nil, b); len(got) != 0 {
-		t.Fatalf("intersect(nil) = %v", got)
+	if got := predicate.EmptyAtomSet.Intersect(b); !got.Empty() {
+		t.Fatalf("Intersect(empty) = %v", got)
 	}
-	if got := subtract(a, nil); len(got) != len(a) {
-		t.Fatalf("subtract(nil) = %v", got)
+	if got := a.Diff(predicate.EmptyAtomSet); got.Len() != a.Len() {
+		t.Fatalf("Diff(empty) = %v", got)
 	}
 }
 
@@ -369,13 +405,10 @@ func TestSuperiorRelationAcyclicOnRandomSets(t *testing.T) {
 		preds := randomPrefixPreds(d, 3, 10, rng)
 		in := buildInput(d, preds, rng)
 		b := &builder{in: in, t: &Tree{D: d}}
-		all := make([]int32, in.Atoms.N())
-		for i := range all {
-			all[i] = int32(i)
-		}
-		r := make([][]int32, 3)
+		all := predicate.AtomRange(0, int32(in.Atoms.N()))
+		r := make([]predicate.AtomSet, 3)
 		for i := range r {
-			r[i] = intersect(all, in.Atoms.R(i))
+			r[i] = all.Intersect(in.Atoms.RSet(i))
 		}
 		s01 := b.superior(r[0], r[1], all)
 		s12 := b.superior(r[1], r[2], all)

@@ -1,5 +1,7 @@
 package bdd
 
+import "math"
+
 // View is a read-only evaluation view of a DD, frozen at a point in time.
 // It is the substrate of the classifier's lock-free query path: a writer
 // keeps allocating nodes in the DD while any number of readers evaluate
@@ -101,4 +103,55 @@ func (v *View) EvalBits(f Ref, bits []byte) bool {
 		}
 	}
 	return f == True
+}
+
+// SatCount returns the number of satisfying assignments of f over the
+// frozen DD's variables; see DD.SatCount. Like Eval it only reads the
+// frozen node-store prefix, so the verification engine can size packet
+// sets from a pinned epoch while the live DD keeps growing.
+func (v *View) SatCount(f Ref) float64 {
+	memo := make(map[Ref]float64)
+	var count func(Ref) float64
+	count = func(f Ref) float64 {
+		if f == False {
+			return 0
+		}
+		if f == True {
+			return 1
+		}
+		if c, ok := memo[f]; ok {
+			return c
+		}
+		n := v.nodes[f]
+		lo := count(n.low) * math.Exp2(float64(v.nodes[n.low].level-n.level-1))
+		hi := count(n.high) * math.Exp2(float64(v.nodes[n.high].level-n.level-1))
+		c := lo + hi
+		memo[f] = c
+		return c
+	}
+	return count(f) * math.Exp2(float64(v.nodes[f].level))
+}
+
+// AnySat returns one satisfying assignment of f as a slice of length
+// NumVars with entries 0, 1 or -1 (don't care), or nil for False; see
+// DD.AnySat. Reads only the frozen prefix.
+func (v *View) AnySat(f Ref) []int8 {
+	if f == False {
+		return nil
+	}
+	a := make([]int8, v.numVars)
+	for i := range a {
+		a[i] = -1
+	}
+	for f > True {
+		n := v.nodes[f]
+		if n.high != False {
+			a[n.level] = 1
+			f = n.high
+		} else {
+			a[n.level] = 0
+			f = n.low
+		}
+	}
+	return a
 }

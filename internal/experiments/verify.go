@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"apclassifier"
+	"apclassifier/internal/netgen"
+	"apclassifier/internal/verify"
+)
+
+// Verify measures the snapshot-native verification engine on generated
+// fat-tree fabrics: dataset compilation, then the three exhaustive sweeps
+// (loop enumeration, all-pairs ingress×host reachability, blackhole
+// enumeration), each over every atom from every ingress.
+//
+// It is standalone — it does not touch the Env datasets — because its
+// subject is scale: the "large" preset exceeds 1000 boxes and 100k rules,
+// far past the paper's two networks.
+func Verify(presets []string) (*Table, error) {
+	t := &Table{
+		Title: "Network-wide verification on fat-tree fabrics (exhaustive, per epoch)",
+		Header: []string{"preset", "boxes", "rules", "atoms", "compile", "loops", "reach(all-pairs)", "blackholes(all)"},
+	}
+	for _, name := range presets {
+		cfg, err := netgen.FatTreePreset(name)
+		if err != nil {
+			return nil, err
+		}
+		ds := netgen.FatTree(cfg)
+		start := time.Now()
+		c, err := apclassifier.New(ds, apclassifier.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("compile %s: %w", name, err)
+		}
+		compile := time.Since(start)
+		a := verify.New(c)
+
+		start = time.Now()
+		loops := a.Loops()
+		loopDur := time.Since(start)
+		if len(loops) != 0 {
+			return nil, fmt.Errorf("%s: generated fabric must be loop-free, found %d", name, len(loops))
+		}
+
+		start = time.Now()
+		nonEmpty := 0
+		for ingress := 0; ingress < a.NumBoxes(); ingress++ {
+			for _, h := range ds.Hosts {
+				if !a.ReachSet(ingress, h.Name).Empty() {
+					nonEmpty++
+				}
+			}
+		}
+		reachDur := time.Since(start)
+		if want := a.NumBoxes() * len(ds.Hosts); nonEmpty != want {
+			return nil, fmt.Errorf("%s: %d/%d ingress×host pairs reachable", name, nonEmpty, want)
+		}
+
+		start = time.Now()
+		bhAtoms := 0
+		for ingress := 0; ingress < a.NumBoxes(); ingress++ {
+			bhAtoms += a.Blackholes(ingress).NumAtoms()
+		}
+		bhDur := time.Since(start)
+
+		t.AddRow(name,
+			fmt.Sprintf("%d", a.NumBoxes()),
+			fmt.Sprintf("%d", ds.NumRules()),
+			fmt.Sprintf("%d", a.NumAtoms()),
+			compile.Round(time.Millisecond).String(),
+			loopDur.Round(time.Millisecond).String(),
+			reachDur.Round(time.Millisecond).String(),
+			fmt.Sprintf("%s (%d atom-pairs)", bhDur.Round(time.Millisecond), bhAtoms),
+		)
+	}
+	return t, nil
+}
+
+// VerifyPresets picks the fat-tree presets appropriate for a scale.
+func VerifyPresets(scale Scale) []string {
+	switch scale.Name {
+	case "small":
+		return []string{"small"}
+	case "full":
+		return []string{"small", "mid", "large"}
+	}
+	return []string{"small", "mid"}
+}

@@ -58,3 +58,11 @@ func flatDiffAcrossEpochs(m *aptree.Manager, pkt header.Packet) bool {
 	p, _ := m.Snapshot().ClassifyPointer(pkt) // re-pins: compares engines across epochs
 	return f.Classify(pkt) == p
 }
+
+// The pre-refactor verify.Analyzer constructor: pin an epoch, then
+// assemble the analysis state from the live tree — the mixing the
+// snapshot-native Analyzer exists to rule out.
+func analyzerBuildFromLiveTree(m *aptree.Manager) (*aptree.Snapshot, int) {
+	s := m.Snapshot()
+	return s, m.Tree().NumLeaves() // atom views must come from s, not the live tree
+}

@@ -49,3 +49,10 @@ func flatDiffOnePin(m *aptree.Manager, pkt header.Packet) bool {
 	p, _ := s.ClassifyPointer(pkt)
 	return f.Classify(pkt) == p
 }
+
+// The snapshot-native verify idiom: one pin supplies the epoch, the atom
+// view, and every answer derived from them.
+func analyzerBuildPinned(m *aptree.Manager) (uint64, int) {
+	s := m.Snapshot()
+	return s.Version(), s.Atoms().N()
+}

@@ -39,3 +39,13 @@ func deltaOnPublishedTree(s *aptree.Snapshot) {
 func renumberViaFlat(s *aptree.Snapshot, pkt []byte) {
 	s.Flat().Classify(pkt).AtomID = 3 // the flat core serves the same frozen leaves
 }
+
+func retainNodeAcrossEpochs(m *aptree.Manager, pkt []byte) {
+	leaf, _ := m.Snapshot().Classify(pkt)
+	m.Update(func(tx *aptree.Tx) {})
+	leaf.AtomID = 5 // retained across a delta publish; nodes belong to their epoch forever
+}
+
+func mutateAtomViewLeaf(s *aptree.Snapshot) {
+	s.Atoms().Leaf(0).AtomID = 1 // AtomView hands out the snapshot's own nodes
+}

@@ -53,3 +53,10 @@ func flatReadOnly(s *aptree.Snapshot, pkt []byte) (int32, int) {
 	st.Nodes++ // value copy: mutating it cannot reach the snapshot
 	return leaf.AtomID, st.Nodes
 }
+
+// The snapshot-native analyzer idiom: atoms retained through an AtomView
+// are read every which way but never written.
+func atomViewReadOnly(s *aptree.Snapshot) (int, bool) {
+	v := s.Atoms()
+	return v.N(), v.Member(v.IDs().Min()).Get(0)
+}

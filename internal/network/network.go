@@ -70,6 +70,22 @@ type Network struct {
 // New returns an empty network.
 func New() *Network { return &Network{} }
 
+// Clone returns a deep copy of the topology graph: boxes and ports are
+// copied, so later in-place mutations of n (the facade's delta engine
+// rewrites port predicate IDs and ACLs under its manager's write lock)
+// never show through the copy. Middlebox pointers are shared — their
+// tables are not part of the graph and callers that reject middleboxes
+// (the verification engine) never read them.
+func (n *Network) Clone() *Network {
+	c := &Network{Boxes: make([]*Box, len(n.Boxes))}
+	for i, b := range n.Boxes {
+		nb := *b
+		nb.Ports = append([]Port(nil), b.Ports...)
+		c.Boxes[i] = &nb
+	}
+	return c
+}
+
 // AddBox appends a box with the given number of ports and returns its ID.
 func (n *Network) AddBox(name string, numPorts int) int {
 	b := &Box{Name: name, InACL: NoPred}

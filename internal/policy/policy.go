@@ -98,12 +98,17 @@ func Check(c *apclassifier.Classifier, props []Property) []Violation {
 	a := verify.New(c)
 	d := c.Manager.DD()
 	var out []Violation
-	scope := func(p Property, set bdd.Ref) bdd.Ref {
+	// Properties scope with arbitrary BDDs, so packet sets are
+	// materialized as refs in the live DD (sound here: the check requires
+	// quiescence, so the analyzer's pinned epoch is the live lineage).
+	scope := func(p Property, ps verify.PacketSet) bdd.Ref {
+		set := ps.UnionRef(d)
 		if p.Scope != bdd.False {
 			return d.And(set, p.Scope)
 		}
 		return set
 	}
+	describe := func(set bdd.Ref) string { return verify.DescribeRef(d, c.Layout, set) }
 	for _, p := range props {
 		switch p.Kind {
 		case Reachable:
@@ -114,12 +119,12 @@ func Check(c *apclassifier.Classifier, props []Property) []Violation {
 		case NotReachable:
 			set := scope(p, a.ReachSet(p.From, p.Host))
 			if set != bdd.False {
-				out = append(out, Violation{p, set, "packets reach a forbidden host: " + a.Describe(set)})
+				out = append(out, Violation{p, set, "packets reach a forbidden host: " + describe(set)})
 			}
 		case Waypoint:
 			set := scope(p, a.WaypointViolations(p.From, p.Host, p.Via))
 			if set != bdd.False {
-				out = append(out, Violation{p, set, "packets bypass the waypoint: " + a.Describe(set)})
+				out = append(out, Violation{p, set, "packets bypass the waypoint: " + describe(set)})
 			}
 		case LoopFree:
 			if loops := a.Loops(); len(loops) != 0 {
@@ -129,7 +134,7 @@ func Check(c *apclassifier.Classifier, props []Property) []Violation {
 		case Isolated:
 			set := scope(p, a.CanReach(p.From, p.To))
 			if set != bdd.False {
-				out = append(out, Violation{p, set, "packets cross the isolation boundary: " + a.Describe(set)})
+				out = append(out, Violation{p, set, "packets cross the isolation boundary: " + describe(set)})
 			}
 		}
 	}

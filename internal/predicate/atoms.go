@@ -94,14 +94,23 @@ func ComputeMapped(d *bdd.DD, preds []bdd.Ref, ids []int, capBits int) *Atoms {
 				// Atom entirely inside p.
 				a.Member[i].Set(j, true)
 			default:
-				// Straddles: split into atom∧p and atom∧¬p.
+				// Straddles: split into atom∧p and atom∧¬p. The ¬p half is
+				// inserted adjacent to its parent (not appended at the end)
+				// so that every R(p) stays a short list of contiguous ID
+				// runs — the property interval-coded AtomSets exploit.
 				f := d.Diff(atom, p)
 				a.List[i] = t
 				a.Member[i].Set(j, true)
 				fm := a.Member[i].Clone(capBits)
 				fm.Set(j, false)
-				a.List = append(a.List, f)
-				a.Member = append(a.Member, fm)
+				a.List = append(a.List, bdd.False)
+				copy(a.List[i+2:], a.List[i+1:])
+				a.List[i+1] = f
+				a.Member = append(a.Member, nil)
+				copy(a.Member[i+2:], a.Member[i+1:])
+				a.Member[i+1] = fm
+				n++
+				i++ // the ¬p half cannot straddle p again
 			}
 		}
 	}
@@ -121,6 +130,19 @@ func (a *Atoms) R(j int) []int32 {
 		}
 	}
 	return r
+}
+
+// RSet returns R(p_j) as an interval-coded AtomSet. Because refinement
+// inserts split-off atoms adjacent to their parents, the result is a
+// handful of contiguous runs regardless of how many atoms p_j covers.
+func (a *Atoms) RSet(j int) AtomSet {
+	var b AtomSetBuilder
+	for i, m := range a.Member {
+		if m.Get(j) {
+			b.Add(int32(i))
+		}
+	}
+	return b.Set()
 }
 
 // RSets returns R(p_j) for every predicate.
@@ -150,13 +172,21 @@ func (a *Atoms) AddPredicate(id int, p bdd.Ref) {
 		case atom:
 			a.Member[i].Set(id, true)
 		default:
+			// Insert the ¬p half adjacent to its parent, matching
+			// ComputeMapped's interval-local ID allocation.
 			f := d.Diff(atom, p)
 			a.List[i] = t
 			a.Member[i].Set(id, true)
 			fm := a.Member[i].Clone(a.NumPreds)
 			fm.Set(id, false)
-			a.List = append(a.List, f)
-			a.Member = append(a.Member, fm)
+			a.List = append(a.List, bdd.False)
+			copy(a.List[i+2:], a.List[i+1:])
+			a.List[i+1] = f
+			a.Member = append(a.Member, nil)
+			copy(a.Member[i+2:], a.Member[i+1:])
+			a.Member[i+1] = fm
+			n++
+			i++ // the ¬p half cannot straddle p again
 		}
 	}
 }
@@ -185,13 +215,21 @@ func vecKey(b Bitset) string {
 // removal. Bit id becomes permanently clear; the slot is dead until the ID
 // space is rebuilt.
 func (a *Atoms) RemovePredicate(id int) {
+	// Only atoms in R(id) change their vectors, and any post-clear
+	// collision pairs exactly one R(id) atom with one atom outside it
+	// (two R(id) vectors agreed on bit id, so they still differ in some
+	// other bit). The interval set bounds the cloning to R(id) members.
+	r := a.RSet(id)
 	groups := make(map[string]int, len(a.List))
 	out := a.List[:0]
 	outM := a.Member[:0]
 	d := a.D
 	for i, atom := range a.List {
-		m := a.Member[i].Clone(a.NumPreds)
-		m.Set(id, false)
+		m := a.Member[i]
+		if r.Contains(int32(i)) {
+			m = m.Clone(a.NumPreds)
+			m.Set(id, false)
+		}
 		key := vecKey(m)
 		if j, ok := groups[key]; ok {
 			out[j] = d.Or(out[j], atom)

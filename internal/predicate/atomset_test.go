@@ -1,0 +1,331 @@
+package predicate
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// modelSet is the reference model for AtomSet: a plain map of IDs. Every
+// AtomSet operation must agree with the corresponding map operation.
+type modelSet map[int32]bool
+
+func modelOf(s AtomSet) modelSet {
+	m := modelSet{}
+	s.Each(func(id int32) bool { m[id] = true; return true })
+	return m
+}
+
+func (m modelSet) toAtomSet() AtomSet {
+	ids := make([]int32, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return AtomSetFromSorted(ids)
+}
+
+func (m modelSet) union(o modelSet) modelSet {
+	r := modelSet{}
+	for id := range m {
+		r[id] = true
+	}
+	for id := range o {
+		r[id] = true
+	}
+	return r
+}
+
+func (m modelSet) intersect(o modelSet) modelSet {
+	r := modelSet{}
+	for id := range m {
+		if o[id] {
+			r[id] = true
+		}
+	}
+	return r
+}
+
+func (m modelSet) diff(o modelSet) modelSet {
+	r := modelSet{}
+	for id := range m {
+		if !o[id] {
+			r[id] = true
+		}
+	}
+	return r
+}
+
+func randomModel(rng *rand.Rand, bound int32) modelSet {
+	m := modelSet{}
+	// Mix of runs and singletons so run-boundary logic is exercised.
+	for n := rng.Intn(6); n > 0; n-- {
+		lo := rng.Int31n(bound)
+		hi := lo + 1 + rng.Int31n(8)
+		if hi > bound {
+			hi = bound
+		}
+		for id := lo; id < hi; id++ {
+			m[id] = true
+		}
+	}
+	for n := rng.Intn(8); n > 0; n-- {
+		m[rng.Int31n(bound)] = true
+	}
+	return m
+}
+
+func checkAgainstModel(t *testing.T, s AtomSet, m modelSet) {
+	t.Helper()
+	if s.Len() != len(m) {
+		t.Fatalf("Len=%d model=%d (%v)", s.Len(), len(m), s)
+	}
+	if !s.Equal(m.toAtomSet()) {
+		t.Fatalf("set %v differs from model %v", s, m.toAtomSet())
+	}
+	if s.Empty() != (len(m) == 0) {
+		t.Fatalf("Empty=%v model size %d", s.Empty(), len(m))
+	}
+}
+
+func TestAtomSetAgainstModel(t *testing.T) {
+	const bound = 64
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 2000; trial++ {
+		ma, mb := randomModel(rng, bound), randomModel(rng, bound)
+		a, b := ma.toAtomSet(), mb.toAtomSet()
+		checkAgainstModel(t, a, ma)
+		checkAgainstModel(t, a.Union(b), ma.union(mb))
+		checkAgainstModel(t, a.Intersect(b), ma.intersect(mb))
+		checkAgainstModel(t, a.Diff(b), ma.diff(mb))
+		checkAgainstModel(t, a.Complement(bound), modelSet(func() modelSet {
+			r := modelSet{}
+			for id := int32(0); id < bound; id++ {
+				if !ma[id] {
+					r[id] = true
+				}
+			}
+			return r
+		}()))
+		if got, want := a.IntersectLen(b), len(ma.intersect(mb)); got != want {
+			t.Fatalf("IntersectLen=%d want %d", got, want)
+		}
+		if got, want := a.Intersects(b), len(ma.intersect(mb)) > 0; got != want {
+			t.Fatalf("Intersects=%v want %v", got, want)
+		}
+		for id := int32(0); id < bound; id++ {
+			if a.Contains(id) != ma[id] {
+				t.Fatalf("Contains(%d)=%v model %v in %v", id, a.Contains(id), ma[id], a)
+			}
+		}
+		// Round-trips.
+		if !AtomSetOf(a.Slice()...).Equal(a) {
+			t.Fatalf("Slice/Of round-trip broke %v", a)
+		}
+		if !modelOf(a).toAtomSet().Equal(a) {
+			t.Fatalf("Each round-trip broke %v", a)
+		}
+	}
+}
+
+func TestAtomSetAlgebraicLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const bound = 96
+	for trial := 0; trial < 500; trial++ {
+		a := randomModel(rng, bound).toAtomSet()
+		b := randomModel(rng, bound).toAtomSet()
+		c := randomModel(rng, bound).toAtomSet()
+		if !a.Union(b).Equal(b.Union(a)) || !a.Intersect(b).Equal(b.Intersect(a)) {
+			t.Fatal("commutativity")
+		}
+		if !a.Union(b).Union(c).Equal(a.Union(b.Union(c))) {
+			t.Fatal("associativity")
+		}
+		// De Morgan within the bound.
+		lhs := a.Union(b).Complement(bound)
+		rhs := a.Complement(bound).Intersect(b.Complement(bound))
+		if !lhs.Equal(rhs) {
+			t.Fatal("De Morgan")
+		}
+		// A \ B = A ∩ Bᶜ.
+		if !a.Diff(b).Equal(a.Intersect(b.Complement(bound))) {
+			t.Fatal("diff law")
+		}
+		// Runs are canonical: sorted, non-empty, non-adjacent.
+		u := a.Union(b)
+		prev := int32(-1)
+		ok := true
+		u.EachRun(func(lo, hi int32) bool {
+			if lo >= hi || lo <= prev {
+				ok = false
+				return false
+			}
+			prev = hi
+			return true
+		})
+		if !ok {
+			t.Fatalf("non-canonical runs in %v", u)
+		}
+	}
+}
+
+func TestAtomSetBuilderPanicsOutOfOrder(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("builder must reject out-of-order IDs")
+		}
+	}()
+	var b AtomSetBuilder
+	b.Add(5)
+	b.Add(5)
+}
+
+// decodeOps turns fuzz bytes into a deterministic op sequence, pairing
+// every AtomSet with a model map and checking agreement after each step.
+func atomSetFuzzBody(t *testing.T, data []byte) {
+	const bound = 48
+	set, model := EmptyAtomSet, modelSet{}
+	other, otherModel := EmptyAtomSet, modelSet{}
+	for i := 0; i+1 < len(data); i += 2 {
+		op, arg := data[i]%6, int32(data[i+1])%bound
+		switch op {
+		case 0: // union a single id
+			set = set.Union(AtomSetOf(arg))
+			model[arg] = true
+		case 1: // union a short range
+			hi := arg + 1 + int32(data[i]>>4)%6
+			if hi > bound {
+				hi = bound
+			}
+			set = set.Union(AtomRange(arg, hi))
+			for id := arg; id < hi; id++ {
+				model[id] = true
+			}
+		case 2: // remove a single id
+			set = set.Diff(AtomSetOf(arg))
+			delete(model, arg)
+		case 3: // intersect with the other set
+			set = set.Intersect(other)
+			model = model.intersect(otherModel)
+		case 4: // complement within bound
+			set = set.Complement(bound)
+			m := modelSet{}
+			for id := int32(0); id < bound; id++ {
+				if !model[id] {
+					m[id] = true
+				}
+			}
+			model = m
+		case 5: // swap the two sets
+			set, other = other, set
+			model, otherModel = otherModel, model
+		}
+		if set.Len() != len(model) || !set.Equal(model.toAtomSet()) {
+			t.Fatalf("op %d diverged: %v vs model %v", op, set, model.toAtomSet())
+		}
+	}
+}
+
+func FuzzAtomSet(f *testing.F) {
+	f.Add([]byte{0, 3, 1, 7, 2, 3, 4, 0})
+	f.Add([]byte{1, 40, 1, 2, 3, 0, 5, 0, 3, 9})
+	f.Add([]byte{4, 0, 2, 17, 0, 47, 1, 46})
+	f.Fuzz(atomSetFuzzBody)
+}
+
+// --- Benchmarks: interval-coded AtomSet vs the slice and map encodings it
+// replaced. The workload mirrors the AP-tree builder: R(p) sets are a few
+// contiguous runs over thousands of atoms.
+
+func benchSets(runs, runLen, stride int32) (AtomSet, AtomSet) {
+	var a, b AtomSetBuilder
+	for r := int32(0); r < runs; r++ {
+		a.AddRange(r*stride, r*stride+runLen)
+		b.AddRange(r*stride+runLen/2, r*stride+runLen/2+runLen)
+	}
+	return a.Set(), b.Set()
+}
+
+func BenchmarkAtomSetIntersect(b *testing.B) {
+	x, y := benchSets(64, 24, 48) // ~1.5k elements in 64 runs
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.Intersect(y)
+	}
+}
+
+func BenchmarkSliceIntersect(b *testing.B) {
+	x, y := benchSets(64, 24, 48)
+	xs, ys := x.Slice(), y.Slice()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out := make([]int32, 0, len(xs))
+		j := 0
+		for _, v := range xs {
+			for j < len(ys) && ys[j] < v {
+				j++
+			}
+			if j < len(ys) && ys[j] == v {
+				out = append(out, v)
+			}
+		}
+		_ = out
+	}
+}
+
+func BenchmarkMapIntersect(b *testing.B) {
+	x, y := benchSets(64, 24, 48)
+	xm, ym := modelOf(x), modelOf(y)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out := make(modelSet, len(xm))
+		for v := range xm {
+			if ym[v] {
+				out[v] = true
+			}
+		}
+		_ = out
+	}
+}
+
+func BenchmarkAtomSetUnion(b *testing.B) {
+	x, y := benchSets(64, 24, 48)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.Union(y)
+	}
+}
+
+func BenchmarkSliceUnion(b *testing.B) {
+	x, y := benchSets(64, 24, 48)
+	xs, ys := x.Slice(), y.Slice()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out := make([]int32, 0, len(xs)+len(ys))
+		j, k := 0, 0
+		for j < len(xs) && k < len(ys) {
+			switch {
+			case xs[j] < ys[k]:
+				out = append(out, xs[j])
+				j++
+			case xs[j] > ys[k]:
+				out = append(out, ys[k])
+				k++
+			default:
+				out = append(out, xs[j])
+				j, k = j+1, k+1
+			}
+		}
+		out = append(out, xs[j:]...)
+		out = append(out, ys[k:]...)
+		_ = out
+	}
+}
+
+func BenchmarkAtomSetContains(b *testing.B) {
+	x, _ := benchSets(64, 24, 48)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.Contains(int32(i) % 3072)
+	}
+}

@@ -80,18 +80,19 @@ type PortPredicateDelta struct {
 // as (old minus region) or (winners within region). Ports outside the cones'
 // port sets are untouched by the rule.Cone contract and are never even read.
 func DeltaPortPredicates(d *bdd.DD, layout *header.Layout, dstField string, t *rule.FwdTable, cones []rule.Cone, numPorts int, old func(port int) bdd.Ref) []PortPredicateDelta {
-	candidates := make([]bool, numPorts)
-	any := false
+	// Candidate ports form an interval-coded set: cone port lists are
+	// dense index runs, so the set stays a few intervals no matter how
+	// many ports a batch touches.
+	candidates := EmptyAtomSet
 	for _, c := range cones {
 		for _, p := range c.Ports {
 			if p < 0 || p >= numPorts {
 				panic(fmt.Sprintf("predicate: cone port %d out of range [0,%d)", p, numPorts))
 			}
-			candidates[p] = true
-			any = true
+			candidates = candidates.Union(AtomRange(int32(p), int32(p)+1))
 		}
 	}
-	if !any {
+	if candidates.Empty() {
 		return nil
 	}
 	region := bdd.False
@@ -130,16 +131,14 @@ func DeltaPortPredicates(d *bdd.DD, layout *header.Layout, dstField string, t *r
 		}
 	}
 	var deltas []PortPredicateDelta
-	for port, isCand := range candidates {
-		if !isCand {
-			continue
-		}
-		prev := old(port)
+	candidates.Each(func(port int32) bool {
+		prev := old(int(port))
 		next := d.Or(d.Diff(prev, region), within[port])
 		if next != prev {
-			deltas = append(deltas, PortPredicateDelta{Port: port, Old: prev, New: next})
+			deltas = append(deltas, PortPredicateDelta{Port: int(port), Old: prev, New: next})
 		}
-	}
+		return true
+	})
 	return deltas
 }
 

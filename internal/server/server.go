@@ -15,8 +15,9 @@
 //	POST /checkpoint                → force a checkpoint save (503 if disabled)
 //	GET  /checkpoint/latest         → newest committed checkpoint file (peer bootstrap)
 //	GET  /healthz                   → readiness: 200 serving, 503 draining; epoch + delta cursor
-//	GET  /verify/loops              → loop-freedom check over all packets
-//	GET  /verify/reach?from=a&host=h → exact reachability summary
+//	GET  /verify/loops              → loop-freedom check over all packets (epoch-pinned)
+//	GET  /verify/reach?from=a&host=h → exact reachability summary (epoch-pinned)
+//	GET  /verify/blackholes?from=a  → packets dropped with no route (epoch-pinned)
 //	GET  /metrics                   → Prometheus text exposition of the obs registry
 //	GET  /debug/trace?n=k           → last k per-query stage traces (JSON)
 //	GET  /debug/pprof/...           → net/http/pprof profiles
@@ -187,6 +188,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /verify/loops", s.handleLoops)
 	mux.HandleFunc("GET /verify/reach", s.handleReach)
+	mux.HandleFunc("GET /verify/blackholes", s.handleBlackholes)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /checkpoint/latest", s.handleCheckpointLatest)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -495,33 +497,52 @@ func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// The verify handlers take no server lock at all: verify.New pins one
+// epoch and clones the topology under the manager's read lock, and every
+// query after that runs against the pinned state. Rule churn through the
+// write endpoints proceeds concurrently; the response names the epoch the
+// answer is exact for.
+
 func (s *Server) handleLoops(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	loops := verify.New(s.c).Loops()
+	a := verify.New(s.c)
+	loops := a.Loops()
 	names := make([]string, 0, len(loops))
 	for _, l := range loops {
-		names = append(names, fmt.Sprintf("atom %d from %s", l.AtomID, s.c.Net.Boxes[l.Ingress].Name))
+		names = append(names, fmt.Sprintf("atom %d from %s", l.AtomID, a.BoxName(l.Ingress)))
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"loopFree": len(loops) == 0, "violations": names,
+		"loopFree": len(loops) == 0, "violations": names, "epoch": a.Epoch(),
 	})
 }
 
 func (s *Server) handleReach(w http.ResponseWriter, r *http.Request) {
 	from := r.URL.Query().Get("from")
 	host := r.URL.Query().Get("host")
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	box := s.c.Net.BoxByName(from)
+	a := verify.New(s.c)
+	box := a.BoxByName(from)
 	if box < 0 {
 		writeErr(w, http.StatusBadRequest, "unknown box %q", from)
 		return
 	}
-	a := verify.New(s.c)
 	set := a.ReachSet(box, host)
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"from": from, "host": host, "packets": a.Describe(set),
+		"atoms": set.NumAtoms(), "fraction": set.Fraction(), "epoch": a.Epoch(),
+	})
+}
+
+func (s *Server) handleBlackholes(w http.ResponseWriter, r *http.Request) {
+	from := r.URL.Query().Get("from")
+	a := verify.New(s.c)
+	box := a.BoxByName(from)
+	if box < 0 {
+		writeErr(w, http.StatusBadRequest, "unknown box %q", from)
+		return
+	}
+	set := a.Blackholes(box)
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"from": from, "packets": a.Describe(set),
+		"atoms": set.NumAtoms(), "fraction": set.Fraction(), "epoch": a.Epoch(),
 	})
 }
 

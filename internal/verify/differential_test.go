@@ -1,0 +1,84 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+
+	"apclassifier/internal/netgen"
+)
+
+// TestDifferentialAgainstSimulate cross-checks the snapshot-native engine
+// against netgen's rule-table simulator — the slow, obviously-correct
+// oracle — on all three dataset families. For sampled packets:
+//
+//   - delivery is exact in both directions (in ReachSet ⇔ simulator
+//     delivers to that host);
+//   - loop verdicts are exact in both directions;
+//   - blackholes are one-directional: every packet in Blackholes must be
+//     dropped by the simulator, but not vice versa (the simulator's drop
+//     reasons are not distinguished, and ACL drops are not blackholes).
+func TestDifferentialAgainstSimulate(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		ds   *netgen.Dataset
+	}{
+		{"internet2", netgen.Internet2Like(netgen.Config{Seed: 61, RuleScale: 0.01})},
+		{"stanford", netgen.StanfordLike(netgen.Config{Seed: 61, RuleScale: 0.003})},
+		{"multitenant", netgen.MultiTenantLike(3, 2, 61)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ds := tc.ds
+			c := compile(t, ds)
+			a := New(c)
+			rng := rand.New(rand.NewSource(61))
+			ingresses := []int{0, len(ds.Boxes) / 2, len(ds.Boxes) - 1}
+
+			// Reach sets and blackhole sets, precomputed per ingress.
+			type perIngress struct {
+				reach map[string]PacketSet
+				bh    PacketSet
+				loops PacketSet
+			}
+			pre := map[int]perIngress{}
+			for _, ingress := range ingresses {
+				p := perIngress{reach: map[string]PacketSet{}, bh: a.Blackholes(ingress), loops: a.LoopSet(ingress)}
+				for _, h := range ds.Hosts {
+					p.reach[h.Name] = a.ReachSet(ingress, h.Name)
+				}
+				pre[ingress] = p
+			}
+
+			for i := 0; i < 400; i++ {
+				f := ds.RandomFields(rng)
+				pkt := ds.PacketFromFields(f)
+				for _, ingress := range ingresses {
+					want := ds.Simulate(ingress, f)
+					p := pre[ingress]
+					// Delivery: exact, both directions, per host.
+					delivered := map[string]bool{}
+					for _, h := range want.Delivered {
+						delivered[h] = true
+					}
+					for _, h := range ds.Hosts {
+						if got := p.reach[h.Name].Contains(pkt); got != delivered[h.Name] {
+							t.Fatalf("probe %d ingress %d host %s: verify=%v simulate=%v",
+								i, ingress, h.Name, got, delivered[h.Name])
+						}
+					}
+					// Loops: exact, both directions.
+					if got := p.loops.Contains(pkt); got != want.Looped {
+						t.Fatalf("probe %d ingress %d: loop verify=%v simulate=%v", i, ingress, got, want.Looped)
+					}
+					// Blackholes: one-directional (verify ⇒ simulator drops
+					// somewhere and delivers nowhere).
+					if p.bh.Contains(pkt) {
+						if len(want.Delivered) != 0 || len(want.DropBoxes) == 0 {
+							t.Fatalf("probe %d ingress %d: in Blackholes but simulator delivered=%v drops=%v",
+								i, ingress, want.Delivered, want.DropBoxes)
+						}
+					}
+				}
+			}
+		})
+	}
+}

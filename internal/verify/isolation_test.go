@@ -30,7 +30,9 @@ func TestTenantIsolationHolds(t *testing.T) {
 	for ingress := range ds.Boxes {
 		for _, h := range ds.Hosts {
 			hostTenant := int(h.Name[1] - '0')
-			reach := a.ReachSet(ingress, h.Name)
+			// The quiescent test may materialize the set in the live DD
+			// to intersect with an arbitrary source predicate.
+			reach := a.ReachSet(ingress, h.Name).UnionRef(d)
 			for tn := 0; tn < tenants; tn++ {
 				cross := d.And(reach, srcOf(tn))
 				if tn == hostTenant {
@@ -38,7 +40,7 @@ func TestTenantIsolationHolds(t *testing.T) {
 				}
 				if cross != bdd.False {
 					t.Fatalf("isolation violated: tenant %d sources reach %s (ingress %s): %s",
-						tn, h.Name, ds.Boxes[ingress].Name, a.Describe(cross))
+						tn, h.Name, ds.Boxes[ingress].Name, DescribeRef(d, ds.Layout, cross))
 				}
 			}
 		}
@@ -101,7 +103,7 @@ func TestCrossTenantInjectionDetected(t *testing.T) {
 	for _, h := range ds.Hosts {
 		hostTenant := int(h.Name[1] - '0')
 		otherTenant := 1 - hostTenant
-		reach := a.ReachSet(leaf0, h.Name)
+		reach := a.ReachSet(leaf0, h.Name).UnionRef(d)
 		src := predicate.PrefixBDD(d, ds.Layout, "srcIP", netgen.TenantPrefix(otherTenant))
 		if d.And(reach, src) != bdd.False {
 			violations++

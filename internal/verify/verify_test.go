@@ -5,7 +5,6 @@ import (
 	"testing"
 
 	"apclassifier"
-	"apclassifier/internal/bdd"
 	"apclassifier/internal/netgen"
 	"apclassifier/internal/network"
 	"apclassifier/internal/rule"
@@ -24,7 +23,6 @@ func TestReachSetMatchesSampledBehavior(t *testing.T) {
 	ds := netgen.Internet2Like(netgen.Config{Seed: 51, RuleScale: 0.01})
 	c := compile(t, ds)
 	a := New(c)
-	d := c.Manager.DD()
 	rng := rand.New(rand.NewSource(51))
 
 	host := ds.Hosts[3]
@@ -33,7 +31,7 @@ func TestReachSetMatchesSampledBehavior(t *testing.T) {
 	for i := 0; i < 500; i++ {
 		f := ds.RandomFields(rng)
 		pkt := ds.PacketFromFields(f)
-		inSet := d.EvalBits(reach, pkt)
+		inSet := reach.Contains(pkt)
 		delivered := c.Behavior(0, pkt).Delivered(host.Name)
 		if inSet != delivered {
 			t.Fatalf("probe %d: ReachSet=%v but behavior delivered=%v", i, inSet, delivered)
@@ -47,8 +45,7 @@ func TestReachSetsOfDistinctHostsAreDisjoint(t *testing.T) {
 	ds := netgen.Internet2Like(netgen.Config{Seed: 52, RuleScale: 0.01})
 	c := compile(t, ds)
 	a := New(c)
-	d := c.Manager.DD()
-	sets := make([]bdd.Ref, 0, 10)
+	sets := make([]PacketSet, 0, 10)
 	names := make([]string, 0, 10)
 	for _, h := range ds.Hosts[:10] {
 		names = append(names, h.Name)
@@ -56,7 +53,7 @@ func TestReachSetsOfDistinctHostsAreDisjoint(t *testing.T) {
 	}
 	for i := range sets {
 		for j := i + 1; j < len(sets); j++ {
-			if !d.Disjoint(sets[i], sets[j]) {
+			if sets[i].Atoms().Intersects(sets[j].Atoms()) {
 				t.Fatalf("reach sets of %s and %s overlap", names[i], names[j])
 			}
 		}
@@ -67,15 +64,14 @@ func TestBlackholesComplementDeliveries(t *testing.T) {
 	ds := netgen.Internet2Like(netgen.Config{Seed: 53, RuleScale: 0.01})
 	c := compile(t, ds)
 	a := New(c)
-	d := c.Manager.DD()
 	// From any ingress: every packet either reaches some host or hits a
 	// blackhole (Internet2 has no ACLs, loops or dangling ports).
-	union := a.Blackholes(0)
+	union := a.Blackholes(0).Atoms()
 	for _, h := range ds.Hosts {
-		union = d.Or(union, a.ReachSet(0, h.Name))
+		union = union.Union(a.ReachSet(0, h.Name).Atoms())
 	}
-	if union != bdd.True {
-		t.Fatalf("deliveries ∪ blackholes ≠ header space")
+	if !union.Equal(a.view.IDs()) {
+		t.Fatalf("deliveries ∪ blackholes ≠ header space: %v vs %v", union, a.view.IDs())
 	}
 }
 
@@ -100,7 +96,8 @@ func TestLoopsDetectInjectedLoop(t *testing.T) {
 	ds.Boxes[1].Fwd.Add(rule.FwdRule{Prefix: rule.P(0x0A000000, 8), Port: 1}) // b: 10/8 -> a (loop!)
 	ds.Boxes[0].Fwd.Add(rule.FwdRule{Prefix: rule.P(0xC0000000, 8), Port: 0}) // some delivered traffic
 	c := compile(t, ds)
-	loops := New(c).Loops()
+	a := New(c)
+	loops := a.Loops()
 	if len(loops) == 0 {
 		t.Fatal("injected loop not detected")
 	}
@@ -109,13 +106,22 @@ func TestLoopsDetectInjectedLoop(t *testing.T) {
 			t.Fatal("loop without example header")
 		}
 	}
+	// The per-ingress LoopSet agrees with the sweep.
+	fromSweep := 0
+	for _, l := range loops {
+		if l.Ingress == 0 {
+			fromSweep++
+		}
+	}
+	if got := a.LoopSet(0).NumAtoms(); got != fromSweep {
+		t.Fatalf("LoopSet(0) has %d atoms, sweep found %d", got, fromSweep)
+	}
 }
 
 func TestWaypointViolations(t *testing.T) {
 	ds := netgen.StanfordLike(netgen.Config{Seed: 55, RuleScale: 0.003})
 	c := compile(t, ds)
 	a := New(c)
-	d := c.Manager.DD()
 	bbra, bbrb := c.Net.BoxByName("bbra"), c.Net.BoxByName("bbrb")
 
 	// Inter-zone delivery must traverse a backbone router: violations of
@@ -129,7 +135,7 @@ func TestWaypointViolations(t *testing.T) {
 		vb := a.WaypointViolations(ingress, h.Name, bbrb)
 		// Packets bypassing both backbones would violate the two-tier
 		// topology; the intersection must be empty.
-		if d.And(va, vb) != bdd.False {
+		if va.Atoms().Intersects(vb.Atoms()) {
 			t.Fatalf("traffic to %s bypasses both backbone routers", h.Name)
 		}
 	}
@@ -151,7 +157,7 @@ func TestIsolationAndCanReach(t *testing.T) {
 		}
 	}
 	// CanReach is consistent with Isolated.
-	if a.CanReach(0, 1) == bdd.False {
+	if a.CanReach(0, 1).Empty() {
 		t.Fatal("CanReach(0,1) empty but not isolated")
 	}
 }
@@ -202,14 +208,14 @@ func TestDescribe(t *testing.T) {
 	ds := netgen.Internet2Like(netgen.Config{Seed: 58, RuleScale: 0.01})
 	c := compile(t, ds)
 	a := New(c)
-	if got := a.Describe(bdd.False); got != "(empty)" {
-		t.Fatalf("Describe(False) = %q", got)
+	if got := a.Describe(PacketSet{}); got != "(empty)" {
+		t.Fatalf("Describe(empty) = %q", got)
 	}
 	// Some edge ports own no prefixes at small scale; find a host that
 	// actually receives traffic.
 	for _, h := range ds.Hosts {
 		set := a.ReachSet(0, h.Name)
-		if set == bdd.False {
+		if set.Empty() {
 			continue
 		}
 		s := a.Describe(set)
@@ -221,15 +227,33 @@ func TestDescribe(t *testing.T) {
 	t.Fatal("no host receives any traffic")
 }
 
+func TestPacketSetCountAndFraction(t *testing.T) {
+	ds := netgen.Internet2Like(netgen.Config{Seed: 60, RuleScale: 0.01})
+	c := compile(t, ds)
+	a := New(c)
+	// The whole atom universe covers the header space exactly.
+	all := PacketSet{a: a, set: a.view.IDs()}
+	if got := all.Fraction(); got != 1 {
+		t.Fatalf("Fraction(universe) = %v, want 1", got)
+	}
+	// Fractions of a partition into reach sets + blackholes sum to 1.
+	total := a.Blackholes(0).Fraction()
+	for _, h := range ds.Hosts {
+		total += a.ReachSet(0, h.Name).Fraction()
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Fatalf("partition fractions sum to %v", total)
+	}
+}
+
 func TestAnalyzerRejectsMiddleboxes(t *testing.T) {
 	ds := netgen.Internet2Like(netgen.Config{Seed: 59, RuleScale: 0.01})
 	c := compile(t, ds)
 	c.Net.Boxes[0].MB = &network.Middlebox{Name: "mb"}
-	a := New(c)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("middlebox networks must be rejected")
 		}
 	}()
-	a.Loops()
+	New(c)
 }
